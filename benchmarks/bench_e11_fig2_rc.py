@@ -1,0 +1,80 @@
+"""E11 — Figure 2 regenerated: the rake-and-compress clustering.
+
+The paper's Figure 2 clusters the 6-vertex tree {A..F} level by level:
+T_1 holds the base clusters; leaves A, E, F rake and the degree-2 vertex C
+compresses into T_2; the adjacent-leaf pair {B, D} tie-breaks (B removed)
+in T_3; and D roots in T_4. This bench builds the same tree with the real
+RCForest and prints the hierarchy; exact removal levels depend on the
+compress coins, but the structural facts of the figure are asserted:
+rakes for the leaves, a single root cluster, and a logarithmic number of
+levels.
+"""
+
+from __future__ import annotations
+
+from conftest import publish
+
+from repro.structures.rc_tree import RCForest
+
+# Figure 2's tree: A-B, B-C, C-D, D-E, D-F  (A..F = 0..5)
+NAMES = "ABCDEF"
+EDGES = [(0, 1), (1, 2), (2, 3), (3, 4), (3, 5)]
+
+
+def run_experiment():
+    f = RCForest(6)
+    f.batch_update([], EDGES)
+    f.check_invariants()
+    return f
+
+
+def render(f: RCForest):
+    lines = ["tree: " + ", ".join(f"{NAMES[a]}-{NAMES[b]}" for a, b in EDGES), ""]
+    for i, lvl in enumerate(f._levels):
+        if not lvl.alive and i > 0:
+            break
+        decs = {
+            NAMES[v]: f._decisions[i][v].kind for v in sorted(lvl.alive)
+        }
+        edges = sorted(
+            (NAMES[a], NAMES[b])
+            for a, d in lvl.adj.items()
+            for b in d
+            if a < b
+        )
+        lines.append(f"T_{i+1}: alive={sorted(NAMES[v] for v in lvl.alive)} "
+                     f"edges={edges} decisions={decs}")
+    lines.append("")
+    for cid in sorted(c for c in f.clusters if c >= f.n):
+        c = f.clusters[cid]
+        kids = [
+            NAMES[ch] if ch < f.n else f"C{ch}" for ch in c.children
+        ]
+        rep = NAMES[c.rep] if c.rep is not None else "-"
+        bd = "".join(NAMES[b] for b in c.boundary)
+        lines.append(
+            f"  cluster C{cid}: {c.kind:8s} rep={rep} boundary=({bd}) "
+            f"children={kids}"
+        )
+    return "\n".join(lines)
+
+
+def test_e11_figure2(benchmark):
+    f = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    publish("e11_fig2_rc", render(f))
+    # one root cluster covering the whole component
+    assert len(f.roots()) == 1
+    # the three leaves A, E, F rake at the first level (as in the figure)
+    d0 = f._decisions[0]
+    assert d0[0].kind == "rake"  # A
+    assert d0[4].kind == "rake"  # E
+    assert d0[5].kind == "rake"  # F
+    # the hierarchy collapses in O(log n) levels
+    assert f.levels_used() <= 8
+    # path queries reproduce the tree's paths
+    assert f.path(0, 4) == [0, 1, 2, 3, 4]  # A..E
+    assert f.path(4, 5) == [4, 3, 5]        # E..F through D
+
+
+if __name__ == "__main__":
+    print(render(run_experiment()))

@@ -1,0 +1,114 @@
+"""E12 — Lemma 2.4 / 2.5 primitive bounds.
+
+List ranking: Wyllie (O(n log n) work) vs Anderson–Miller (O(n) expected),
+both at O(log n)-ish span. Maximal matching: Luby's work/span against the
+Lemma 2.5 budget.
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import publish
+
+from repro.analysis import format_table, geometric_sizes, loglog_slope
+from repro.graph.generators import gnm_random_connected_graph
+from repro.listrank.ranking import (
+    anderson_miller_prefix_sums,
+    wyllie_prefix_sums,
+)
+from repro.matching.luby import maximal_matching
+from repro.pram import Tracker
+
+
+def build_list(n):
+    vertices = list(range(n))
+    prev_of = {v: (v - 1 if v else None) for v in vertices}
+    return vertices, prev_of
+
+
+def run_experiment():
+    rank_rows = []
+    am_works = []
+    sizes = geometric_sizes(1024, 16384)
+    for n in sizes:
+        vs, prv = build_list(n)
+        t1, t2 = Tracker(), Tracker()
+        wyllie_prefix_sums(t1, vs, prv, lambda v: 1)
+        anderson_miller_prefix_sums(
+            t2, vs, prv, lambda v: 1, rng=random.Random(0)
+        )
+        am_works.append(t2.work)
+        rank_rows.append(
+            (
+                n,
+                t1.work,
+                round(t1.work / (n * n.bit_length()), 2),
+                t2.work,
+                round(t2.work / n, 1),
+                t1.span,
+                t2.span,
+            )
+        )
+    am_slope = loglog_slope(sizes, am_works)
+
+    match_rows = []
+    for n in geometric_sizes(256, 4096):
+        g = gnm_random_connected_graph(n, 4 * n, seed=0)
+        t = Tracker()
+        maximal_matching(t, g.n, g.edges, random.Random(1))
+        logn = g.n.bit_length()
+        match_rows.append(
+            (n, g.m, t.work, round(t.work / (g.m * logn), 2), t.span)
+        )
+    return rank_rows, am_slope, match_rows
+
+
+def render(rank_rows, am_slope, match_rows):
+    rk = format_table(
+        [
+            "n",
+            "Wyllie work",
+            "/(n lg n)",
+            "AM work",
+            "/n",
+            "Wyllie span",
+            "AM span",
+        ],
+        rank_rows,
+    )
+    mm = format_table(
+        ["n", "m", "matching work", "/(m lg n)", "span"], match_rows
+    )
+    return "\n".join(
+        [
+            "list ranking (Lemma 2.4):",
+            rk,
+            "",
+            f"Anderson–Miller work exponent: {am_slope:.3f} (1.0 = linear; "
+            "Wyllie carries the extra log)",
+            "",
+            "Luby maximal matching (Lemma 2.5, budget O(m lg^5 n)):",
+            mm,
+        ]
+    )
+
+
+def test_e12_primitives(benchmark):
+    rank_rows, am_slope, match_rows = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+    publish("e12_primitives", render(rank_rows, am_slope, match_rows))
+    assert 0.9 <= am_slope <= 1.1  # AM is linear-work
+    for n, _, wy_norm, _, am_norm, wy_span, am_span in rank_rows:
+        assert wy_norm <= 5
+        assert am_norm <= 40
+        assert wy_span <= 40 * n.bit_length() ** 2
+        assert am_span <= 40 * n.bit_length() ** 2
+    for n, m, w, norm, span in match_rows:
+        assert norm <= 30  # far inside the lg^5 budget
+        assert span <= 40 * n.bit_length() ** 2
+
+
+if __name__ == "__main__":
+    print(render(*run_experiment()))

@@ -1,0 +1,51 @@
+"""E14 — wall-clock sanity of the simulator itself.
+
+The paper's claims are about work/depth, not Python wall time; this bench
+exists so regressions in the *simulation's* speed are visible, and to
+demonstrate the thread-pool executor on an embarrassingly parallel phase.
+These are classic pytest-benchmark timings (several rounds each).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.baselines.sequential import sequential_dfs
+from repro.core.dfs import parallel_dfs
+from repro.graph.generators import gnm_random_connected_graph
+from repro.pram import Tracker, run_parallel
+
+G_SMALL = gnm_random_connected_graph(256, 768, seed=0)
+G_MED = gnm_random_connected_graph(1024, 3072, seed=0)
+
+
+def test_e14_wallclock_parallel_dfs_small(benchmark):
+    benchmark(
+        lambda: parallel_dfs(G_SMALL, 0, tracker=Tracker(), rng=random.Random(0))
+    )
+
+
+def test_e14_wallclock_parallel_dfs_medium(benchmark):
+    benchmark.pedantic(
+        lambda: parallel_dfs(G_MED, 0, tracker=Tracker(), rng=random.Random(0)),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_e14_wallclock_sequential_dfs(benchmark):
+    benchmark(lambda: sequential_dfs(G_MED, 0, Tracker()))
+
+
+def test_e14_wallclock_threadpool_demo(benchmark):
+    # demonstration that parallel_for bodies are genuinely independent:
+    # a real thread pool maps over them without coordination
+    items = list(range(2000))
+
+    def body(v):
+        acc = 0
+        for w in G_MED.adj[v % G_MED.n]:
+            acc += w
+        return acc
+
+    benchmark(lambda: run_parallel(items, body, workers=4))

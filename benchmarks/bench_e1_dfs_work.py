@@ -1,0 +1,62 @@
+"""E1 — Theorem 1.1 work bound: W = Õ(m + n).
+
+Sweeps the parallel DFS over graph families and sizes, reporting total
+tracked work, the ratio W/(m+n), and the log-log growth exponent of W in
+m+n. Acceptance (DESIGN.md §4): the exponent stays ≈1 (the polylog factor
+shows up as a mildly drifting ratio, not as a power).
+"""
+
+from __future__ import annotations
+
+from conftest import publish
+
+from repro.analysis import (
+    format_table,
+    geometric_sizes,
+    loglog_slope,
+    sweep,
+)
+
+FAMILIES = ("gnm", "grid")
+SIZES = geometric_sizes(256, 2048)
+
+
+def run_experiment():
+    rows = []
+    slopes = {}
+    for family in FAMILIES:
+        ms = sweep(family, SIZES, algorithm="parallel", seeds=(0,))
+        xs = [m.m + m.n for m in ms]
+        ws = [m.work for m in ms]
+        slopes[family] = loglog_slope(xs, ws)
+        for m in ms:
+            rows.append(
+                (family, m.n, m.m, m.work, round(m.work_per_edge, 1))
+            )
+    return rows, slopes
+
+
+def render(rows, slopes):
+    table = format_table(
+        ["family", "n", "m", "work W", "W/(m+n)"], rows
+    )
+    lines = [table, ""]
+    for fam, s in slopes.items():
+        lines.append(
+            f"log-log slope of W vs (m+n), {fam}: {s:.3f}  "
+            "(1.0 = linear; paper allows +polylog drift)"
+        )
+    return "\n".join(lines)
+
+
+def test_e1_work_scaling(benchmark):
+    rows, slopes = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    publish("e1_dfs_work", render(rows, slopes))
+    for fam, s in slopes.items():
+        # near-linear: a genuine m*sqrt(n) law would show ~1.5 here
+        assert 0.85 <= s <= 1.35, f"{fam}: work exponent {s}"
+
+
+if __name__ == "__main__":
+    rows, slopes = run_experiment()
+    print(render(rows, slopes))

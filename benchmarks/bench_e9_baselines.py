@@ -1,0 +1,87 @@
+"""E9 — the Section 1.2 comparison: ours vs sequential vs GPV88 vs AA87.
+
+Work and depth for all four algorithms on a grid sweep (the long-diameter
+family where the rescan penalty of [GPV88] is visible at small n).
+Acceptance shape (DESIGN.md §4):
+
+* work ordering: sequential < ours << GPV << AA87, with the ours/GPV gap
+  *growing* with n (their work is Θ̃(m√n) vs our Õ(m));
+* depth ordering: ours and the polylog baselines far below sequential in
+  scaling (the absolute crossover for our constants extrapolates beyond
+  n ≈ 4·10⁴ — reported, not hidden);
+* AA87's modeled Ω(n³) work dwarfs everything.
+"""
+
+from __future__ import annotations
+
+from conftest import publish
+
+from repro.analysis import (
+    format_table,
+    run_aa87_model,
+    run_gpv_dfs,
+    run_parallel_dfs,
+    run_sequential_dfs,
+)
+from repro.graph.generators import grid_graph
+
+SIDES = (16, 32, 45)
+
+
+def run_experiment():
+    rows = []
+    ratios = []
+    for side in SIDES:
+        g = grid_graph(side, side)
+        seq = run_sequential_dfs(g)
+        ours = run_parallel_dfs(g, seed=0)
+        gpv = run_gpv_dfs(g, seed=0)
+        aa = run_aa87_model(g)
+        ratios.append(gpv.work / ours.work)
+        rows.append((g.n, "sequential", seq.work, seq.span))
+        rows.append((g.n, "ours (Thm 1.1)", ours.work, ours.span))
+        rows.append((g.n, "GPV88-style", gpv.work, gpv.span))
+        rows.append((g.n, "AA87 (modeled)", aa.work, aa.span))
+    return rows, ratios
+
+
+def render(rows, ratios):
+    table = format_table(["n", "algorithm", "work", "depth"], rows)
+    return "\n".join(
+        [
+            table,
+            "",
+            "GPV/ours work ratio per size: "
+            + ", ".join(f"{r:.2f}" for r in ratios)
+            + "  (grows with n: Θ̃(m·sqrt(n)) vs Õ(m))",
+            "AA87 numbers are the documented Ω(n³ log n) cost model, not a",
+            "measurement (DESIGN.md §2).",
+        ]
+    )
+
+
+def test_e9_baseline_comparison(benchmark):
+    rows, ratios = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    publish("e9_baselines", render(rows, ratios))
+    # group rows per size
+    by_n: dict[int, dict[str, tuple[int, int]]] = {}
+    for n, alg, w, d in rows:
+        by_n.setdefault(n, {})[alg] = (w, d)
+    for n, algs in by_n.items():
+        seq_w, seq_d = algs["sequential"]
+        our_w, our_d = algs["ours (Thm 1.1)"]
+        gpv_w, _ = algs["GPV88-style"]
+        aa_w, aa_d = algs["AA87 (modeled)"]
+        assert seq_w < our_w       # sequential work is the floor
+        assert aa_w > 100 * our_w  # AA87's n^3 dwarfs everything
+    # AA87's polylog depth beats the sequential depth once n outgrows
+    # log^4 n (true from the largest size on; below that, not yet)
+    n_max = max(by_n)
+    assert by_n[n_max]["AA87 (modeled)"][1] < by_n[n_max]["sequential"][1]
+    # the ours-vs-GPV gap widens with n
+    assert ratios[-1] > ratios[0]
+    assert ratios[-1] > 1.3
+
+
+if __name__ == "__main__":
+    print(render(*run_experiment()))

@@ -1,0 +1,26 @@
+"""Shared helpers for the experiment harness.
+
+Every experiment file exposes a ``test_eN_...`` function using the
+pytest-benchmark fixture: the *harness run itself* is what gets timed, and
+the experiment's table is printed (run with ``-s`` to see it live) and
+written to ``benchmarks/results/<name>.txt`` for EXPERIMENTS.md.
+
+The measured quantities are work/span from the PRAM tracker (the paper's
+claimed bounds); wall-clock numbers reported by pytest-benchmark time the
+simulation, not the algorithm, and are used only in E14.
+"""
+
+from __future__ import annotations
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def publish(name: str, text: str) -> None:
+    """Print an experiment's table and persist it under results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    banner = f"\n===== {name} =====\n{text}\n"
+    print(banner)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as fh:
+        fh.write(text + "\n")

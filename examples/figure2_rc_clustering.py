@@ -1,0 +1,63 @@
+"""Figure 2 of the paper, as a runnable trace: rake-and-compress clustering.
+
+Builds the 6-vertex tree {A..F} from the figure with the real
+:class:`~repro.structures.rc_tree.RCForest`, prints the level-by-level
+contraction and the resulting cluster hierarchy, then demonstrates the path
+queries the hierarchy answers (Section 6.4) and a dynamic update.
+
+Run:  python examples/figure2_rc_clustering.py
+"""
+
+from repro.structures.rc_tree import RCForest
+
+NAMES = "ABCDEF"
+# the figure's tree: A-B-C-D with leaves E, F hanging off D
+EDGES = [(0, 1), (1, 2), (2, 3), (3, 4), (3, 5)]
+
+
+def name(v: int) -> str:
+    return NAMES[v]
+
+
+def main() -> None:
+    f = RCForest(6)
+    f.batch_update([], EDGES)
+
+    print("tree:", ", ".join(f"{name(a)}-{name(b)}" for a, b in EDGES))
+    print()
+    for i, lvl in enumerate(f._levels):
+        if not lvl.alive:
+            break
+        decisions = {
+            name(v): f._decisions[i][v].kind for v in sorted(lvl.alive)
+        }
+        print(f"T_{i+1}: alive {sorted(map(name, lvl.alive))}  "
+              f"decisions {decisions}")
+    print()
+
+    print("cluster hierarchy (cf. the circles in Figure 2):")
+    for cid in sorted(c for c in f.clusters if c >= f.n):
+        c = f.clusters[cid]
+        if c.kind == "ebase":
+            continue  # base edge clusters: the black edges of the figure
+        kids = [name(ch) if ch < f.n else f"C{ch}" for ch in c.children]
+        bd = "".join(name(b) for b in c.boundary) or "-"
+        print(f"  C{cid}: {c.kind:8s} rep={name(c.rep)} "
+              f"boundary={bd:2s} children={kids}")
+    print()
+
+    print("path queries over the hierarchy (Lemma 6.3):")
+    for u, v in ((0, 4), (4, 5), (0, 5)):
+        p = f.path(u, v)
+        print(f"  path {name(u)}..{name(v)} = {'-'.join(map(name, p))}")
+
+    print()
+    print("dynamic update: cut C-D, link A-F (change propagation, Lemma 6.2)")
+    f.batch_update([(2, 3)], [(0, 5)])
+    f.check_invariants()
+    p = f.path(2, 4)
+    print(f"  path C..E is now = {'-'.join(map(name, p))}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Quickstart: compute a parallel DFS tree and inspect its cost profile.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Graph, Tracker, brent_time_bounds, parallel_dfs, sequential_dfs
+from repro.core.verify import is_valid_dfs_tree
+from repro.graph.generators import gnm_random_connected_graph
+
+
+def main() -> None:
+    # a random connected graph: 2000 vertices, 6000 edges
+    g = gnm_random_connected_graph(2000, 6000, seed=42)
+
+    # the paper's algorithm (Theorem 1.1), with full cost accounting
+    tracker = Tracker()
+    result = parallel_dfs(g, root=0, tracker=tracker)
+
+    assert is_valid_dfs_tree(g, 0, result.parent)
+    print(f"graph: n={g.n}, m={g.m}")
+    print(f"DFS tree: {len(result.parent)} vertices, "
+          f"max depth {max(result.depth.values())}")
+    print(f"recursion levels: {result.levels}")
+    print(f"work  W = {tracker.work:>10,} (sequential DFS does ~{2*(g.n+g.m):,})")
+    print(f"depth D = {tracker.span:>10,} (sequential DFS depth = its work)")
+
+    # what Brent's principle says this costs on p processors
+    seq = Tracker()
+    sequential_dfs(g, 0, seq)
+    print("\nprojected time on p processors (Brent bounds, upper):")
+    for p in (1, 8, 64, 512, 4096):
+        _, upper = brent_time_bounds(tracker.work, tracker.span, p)
+        print(f"  p={p:5d}: T_p <= {int(upper):>10,}   "
+              f"(sequential: {seq.work:,})")
+
+    # the tree itself: parent pointers + depths
+    sample = sorted(result.parent)[:5]
+    print("\nfirst few tree entries:")
+    for v in sample:
+        print(f"  vertex {v}: parent={result.parent[v]}, depth={result.depth[v]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setup shim: lets `pip install -e . --no-build-isolation` work on
+environments whose setuptools lacks PEP 660 / bdist_wheel support
+(offline boxes without the `wheel` package). All metadata lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

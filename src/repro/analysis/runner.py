@@ -1,0 +1,90 @@
+"""Sweep runners shared by the benchmark harness (benchmarks/)."""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable
+
+from ..baselines.aa87_model import aa87_cost_model
+from ..baselines.gpv_style import gpv_dfs
+from ..baselines.sequential import sequential_dfs
+from ..core.dfs import parallel_dfs
+from ..graph.generators import make_family
+from ..graph.graph import Graph
+from ..pram.tracker import Tracker
+from .metrics import Measurement
+
+__all__ = ["run_parallel_dfs", "run_sequential_dfs", "run_gpv_dfs",
+           "run_aa87_model", "sweep", "ALGORITHMS"]
+
+
+def run_parallel_dfs(g: Graph, seed: int = 0, **kw) -> Measurement:
+    t = Tracker()
+    res = parallel_dfs(g, 0, tracker=t, rng=random.Random(seed), **kw)
+    return Measurement(
+        "parallel_dfs", g.n, g.m, t.work, t.span,
+        extra={"levels": res.levels, **res.stats},
+    )
+
+
+def run_sequential_dfs(g: Graph, seed: int = 0) -> Measurement:
+    t = Tracker()
+    sequential_dfs(g, 0, t)
+    return Measurement("sequential_dfs", g.n, g.m, t.work, t.span)
+
+
+def run_gpv_dfs(g: Graph, seed: int = 0) -> Measurement:
+    t = Tracker()
+    gpv_dfs(g, 0, tracker=t, rng=random.Random(seed))
+    return Measurement("gpv_dfs", g.n, g.m, t.work, t.span)
+
+
+def run_aa87_model(g: Graph, seed: int = 0) -> Measurement:
+    c = aa87_cost_model(g.n, g.m)
+    return Measurement(
+        "aa87_model", g.n, g.m, c.work, c.span, extra={"modeled": True}
+    )
+
+
+ALGORITHMS: dict[str, Callable[..., Measurement]] = {
+    "parallel": run_parallel_dfs,
+    "sequential": run_sequential_dfs,
+    "gpv": run_gpv_dfs,
+    "aa87": run_aa87_model,
+}
+
+
+def sweep(
+    family: str,
+    sizes: list[int],
+    algorithm: str = "parallel",
+    seeds: tuple[int, ...] = (0,),
+    **kw,
+) -> list[Measurement]:
+    """Run one algorithm over a size ladder of one graph family,
+    averaging work/span over the seeds."""
+    run = ALGORITHMS[algorithm]
+    out: list[Measurement] = []
+    for n in sizes:
+        acc_w = acc_s = 0
+        g = None
+        extra: dict = {}
+        for seed in seeds:
+            g = make_family(family, n, seed=seed)
+            meas = run(g, seed=seed, **kw)
+            acc_w += meas.work
+            acc_s += meas.span
+            extra = meas.extra
+        assert g is not None
+        out.append(
+            Measurement(
+                f"{algorithm}:{family}",
+                g.n,
+                g.m,
+                acc_w // len(seeds),
+                acc_s // len(seeds),
+                extra=extra,
+            )
+        )
+    return out

@@ -1,0 +1,16 @@
+"""Downstream applications consuming parallel DFS trees (paper Section 1:
+"a wide range of applications")."""
+
+from .biconnectivity import BiconnectivityResult, biconnectivity, low_link_sweep
+from .cycles import EdgeClassification, classify_edges, fundamental_cycles
+from .tarjan_vishkin import tarjan_vishkin_biconnectivity
+
+__all__ = [
+    "BiconnectivityResult",
+    "biconnectivity",
+    "low_link_sweep",
+    "EdgeClassification",
+    "classify_edges",
+    "fundamental_cycles",
+    "tarjan_vishkin_biconnectivity",
+]

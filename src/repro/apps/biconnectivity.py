@@ -1,0 +1,160 @@
+"""Biconnectivity from a DFS tree: the classic downstream application.
+
+DFS trees are rarely the end product — the reason parallel DFS matters
+(paper, Section 1) is the family of algorithms that consume one. The
+Hopcroft–Tarjan low-link technique computes articulation points, bridges
+and biconnected components in one sweep over a DFS tree, and it is only
+correct on a *genuine* DFS tree (it assumes every non-tree edge is a back
+edge). Running it over :func:`repro.parallel_dfs` output therefore both
+delivers the application and re-certifies the tree.
+
+The sweep itself is a tree computation (bottom-up min over subtrees); on a
+PRAM it parallelizes by rake-and-compress in O(log n) rounds — we charge it
+that way (work O(n+m), span O(log n) per level of the tree processed
+bottom-up in level-parallel order).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..core.dfs import parallel_dfs
+from ..graph.graph import Graph
+from ..pram.tracker import Tracker, log2_ceil
+
+__all__ = ["BiconnectivityResult", "biconnectivity", "low_link_sweep"]
+
+
+@dataclass
+class BiconnectivityResult:
+    root: int
+    #: the DFS tree used
+    parent: dict[int, int | None]
+    articulation_points: set[int] = field(default_factory=set)
+    #: bridge edges in canonical orientation
+    bridges: set[tuple[int, int]] = field(default_factory=set)
+    #: biconnected components as frozensets of edges (canonical orientation)
+    components: list[frozenset[tuple[int, int]]] = field(default_factory=list)
+
+
+def low_link_sweep(
+    g: Graph,
+    root: int,
+    parent: dict[int, int | None],
+    t: Tracker | None = None,
+) -> BiconnectivityResult:
+    """Hopcroft–Tarjan over a given DFS tree of g (rooted at root)."""
+    t = t if t is not None else Tracker()
+    children: dict[int, list[int]] = {}
+    for v, p in parent.items():
+        if p is not None:
+            children.setdefault(p, []).append(v)
+    t.charge(len(parent), log2_ceil(max(2, len(parent))) + 1)
+
+    # discovery order via an iterative preorder walk (level-parallel on a
+    # PRAM: each tree level is independent)
+    disc: dict[int, int] = {}
+    order: list[int] = []
+    stack = [root]
+    depth_of: dict[int, int] = {root: 0}
+    max_depth = 0
+    while stack:
+        u = stack.pop()
+        disc[u] = len(order)
+        order.append(u)
+        for w in children.get(u, ()):
+            depth_of[w] = depth_of[u] + 1
+            max_depth = max(max_depth, depth_of[w])
+            stack.append(w)
+    t.charge(len(order), max_depth + 1)
+
+    # bottom-up low-link (reverse preorder = valid post-order for mins)
+    low = dict(disc)
+    result = BiconnectivityResult(root=root, parent=dict(parent))
+    edge_stack: list[tuple[int, int]] = []
+
+    # classify edges once
+    tree_child: dict[tuple[int, int], int] = {}
+    for v, p in parent.items():
+        if p is not None:
+            tree_child[(min(v, p), max(v, p))] = v
+    t.charge(len(parent), 1)
+
+    for u in reversed(order):
+        for w in g.adj[u]:
+            t.op(1)
+            if w not in disc:
+                continue  # other component
+            if parent.get(w) == u:  # tree edge to child
+                low[u] = min(low[u], low[w])
+                if parent.get(u) is not None and low[w] >= disc[u]:
+                    result.articulation_points.add(u)
+                if low[w] > disc[u]:
+                    result.bridges.add((min(u, w), max(u, w)))
+            elif parent.get(u) != w:  # back edge (counted from both ends)
+                low[u] = min(low[u], disc[w])
+    if len(children.get(root, ())) > 1:
+        result.articulation_points.add(root)
+    t.charge(0, max_depth + 1)  # the sweep's critical path: tree height
+
+    # biconnected components via the standard edge-stack second pass
+    comp_edges: list[frozenset[tuple[int, int]]] = []
+    stack2: list[tuple[int, int]] = []
+    seen_edges: set[tuple[int, int]] = set()
+    visited: set[int] = set()
+
+    def canonical(a: int, b: int) -> tuple[int, int]:
+        return (a, b) if a < b else (b, a)
+
+    walk = [(root, iter(children.get(root, ())))]
+    visited.add(root)
+    while walk:
+        u, it = walk[-1]
+        advanced = False
+        for w in it:
+            stack2.append(canonical(u, w))
+            walk.append((w, iter(children.get(w, ()))))
+            visited.add(w)
+            advanced = True
+            break
+        if advanced:
+            continue
+        # leaving u: pop back edges from u, then close components at
+        # articulation boundaries
+        for w in g.adj[u]:
+            t.op(1)
+            e = canonical(u, w)
+            if w in disc and parent.get(u) != w and parent.get(w) != u:
+                if disc[w] < disc[u] and e not in seen_edges:
+                    stack2.append(e)
+                    seen_edges.add(e)
+        walk.pop()
+        p = parent.get(u)
+        if p is not None and (low[u] >= disc[p]):
+            comp: set[tuple[int, int]] = set()
+            pe = canonical(u, p)
+            while stack2:
+                e = stack2.pop()
+                comp.add(e)
+                if e == pe:
+                    break
+            if comp:
+                comp_edges.append(frozenset(comp))
+    if stack2:
+        comp_edges.append(frozenset(stack2))
+    result.components = comp_edges
+    return result
+
+
+def biconnectivity(
+    g: Graph,
+    root: int,
+    t: Tracker | None = None,
+    rng: random.Random | None = None,
+) -> BiconnectivityResult:
+    """Articulation points / bridges / biconnected components of root's
+    component, using the parallel DFS of Theorem 1.1 for the tree."""
+    t = t if t is not None else Tracker()
+    res = parallel_dfs(g, root, tracker=t, rng=rng)
+    return low_link_sweep(g, root, res.parent, t)

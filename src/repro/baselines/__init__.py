@@ -1,0 +1,12 @@
+"""Comparator algorithms and cost models (experiment E9)."""
+
+from .sequential import sequential_dfs, sequential_dfs_randomized
+from .gpv_style import gpv_dfs
+from .aa87_model import aa87_cost_model
+
+__all__ = [
+    "sequential_dfs",
+    "sequential_dfs_randomized",
+    "gpv_dfs",
+    "aa87_cost_model",
+]

@@ -1,0 +1,48 @@
+"""GPV88-style rescanning baseline (Section 1.2 comparison).
+
+Goldberg, Plotkin and Vaidya [GPV88] gave a deterministic Õ(√n)-depth
+parallel DFS whose work is Θ̃(m·√n): the separator machinery re-reads
+adjacency wholesale at every one of the Θ(√n) extension steps instead of
+maintaining an active-neighbor structure.
+
+We reproduce that *work regime* executably: the same driver as
+:func:`repro.parallel_dfs`, but the path-merging selection runs through
+:class:`~repro.structures.naive_active.NaiveActiveNeighborStructure` —
+every head rescans its full (mostly dead) adjacency each step. The output
+DFS tree is still correct; only the measured work degrades, which is
+exactly the gap Theorem 1.1 closes (experiment E9).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..graph.graph import Graph
+from ..pram.tracker import Tracker
+
+__all__ = ["gpv_dfs"]
+
+
+def gpv_dfs(
+    g: Graph,
+    root: int,
+    tracker: Tracker | None = None,
+    rng: random.Random | None = None,
+    verify: bool = False,
+):
+    """Parallel DFS with GPV88-style adjacency rescanning (Θ̃(m√n) work).
+
+    Returns a :class:`repro.core.dfs.DFSResult`. (The import is deferred:
+    the core driver uses the sequential baseline for its base case, so a
+    module-level import here would be circular.)
+    """
+    from ..core.dfs import parallel_dfs
+
+    return parallel_dfs(
+        g,
+        root,
+        tracker=tracker,
+        rng=rng,
+        neighbor_structure="naive",
+        verify=verify,
+    )

@@ -1,0 +1,76 @@
+"""The sequential DFS comparator: O(m + n) work, Θ(traversal) span.
+
+This is the algorithm every parallel DFS is measured against (Section 1 of
+the paper): a single processor finishes it in time O(m + n), so a parallel
+algorithm is only worthwhile if its work stays near-linear while its depth
+drops well below n.
+
+The tracker charges one op per elementary step; since the computation is a
+single dependency chain, its span equals its work — the ``D ≈ n + m`` row in
+experiment E2/E9.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Mapping
+
+from ..graph.graph import Graph
+from ..pram.tracker import Tracker
+
+__all__ = ["sequential_dfs", "sequential_dfs_randomized"]
+
+
+def sequential_dfs(
+    g: Graph, root: int, t: Tracker | None = None
+) -> dict[int, int | None]:
+    """Iterative DFS from ``root``; returns the parent map of its component."""
+    t = t if t is not None else Tracker()
+    if not (0 <= root < g.n):
+        raise ValueError(f"root {root} out of range")
+    parent: dict[int, int | None] = {root: None}
+    # stack holds (vertex, index into its adjacency list)
+    stack: list[list[int]] = [[root, 0]]
+    while stack:
+        t.op(1)
+        top = stack[-1]
+        v, i = top
+        if i >= len(g.adj[v]):
+            stack.pop()
+            continue
+        top[1] += 1
+        w = g.adj[v][i]
+        t.op(1)
+        if w not in parent:
+            parent[w] = v
+            stack.append([w, 0])
+    return parent
+
+
+def sequential_dfs_randomized(
+    g: Graph, root: int, rng: random.Random, t: Tracker | None = None
+) -> dict[int, int | None]:
+    """Sequential DFS visiting neighbors in a random order.
+
+    Used by tests to sample "some other valid DFS tree" for comparison —
+    the problem the paper solves is *arbitrary-order* DFS (Section 1.2), so
+    any neighbor order yields an acceptable tree.
+    """
+    t = t if t is not None else Tracker()
+    parent: dict[int, int | None] = {root: None}
+    order = {v: rng.sample(g.adj[v], len(g.adj[v])) for v in range(g.n)}
+    stack: list[list[int]] = [[root, 0]]
+    while stack:
+        t.op(1)
+        top = stack[-1]
+        v, i = top
+        if i >= len(order[v]):
+            stack.pop()
+            continue
+        top[1] += 1
+        w = order[v][i]
+        t.op(1)
+        if w not in parent:
+            parent[w] = v
+            stack.append([w, 0])
+    return parent

@@ -1,0 +1,165 @@
+"""Command-line interface: run the algorithms without writing code.
+
+Examples
+--------
+Run the parallel DFS on a generated graph and print the cost profile::
+
+    python -m repro dfs --family gnm --n 1024 --seed 3
+
+Sweep sizes and print the scaling table (the E1/E2 view)::
+
+    python -m repro sweep --family grid --sizes 256,512,1024 --algorithm parallel
+
+Self-check a batch of random instances against the DFS oracle::
+
+    python -m repro selfcheck --trials 25 --max-n 120
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+
+from .analysis.metrics import Measurement, format_table, loglog_slope
+from .analysis.runner import ALGORITHMS, sweep
+from .baselines.sequential import sequential_dfs
+from .core.dfs import parallel_dfs
+from .core.verify import explain_dfs_tree
+from .graph.generators import FAMILIES, gnm_random_connected_graph, make_family
+from .pram import Tracker, brent_time_bounds
+
+__all__ = ["main"]
+
+
+def _cmd_dfs(args: argparse.Namespace) -> int:
+    if args.edge_list is not None:
+        from .graph.io import read_edge_list
+
+        g = read_edge_list(args.edge_list)
+    else:
+        g = make_family(args.family, args.n, seed=args.seed)
+    t = Tracker()
+    res = parallel_dfs(
+        g,
+        args.root,
+        tracker=t,
+        rng=random.Random(args.seed),
+        backend=args.backend,
+        verify=True,
+    )
+    seq = Tracker()
+    sequential_dfs(g, args.root, seq)
+    src = args.edge_list if args.edge_list else f"family={args.family}"
+    print(f"{src} n={g.n} m={g.m} root={args.root}")
+    print(f"tree: {len(res.parent)} vertices, max depth "
+          f"{max(res.depth.values())}, recursion levels {res.levels}")
+    print(f"work  W = {t.work:,}   (sequential: {seq.work:,})")
+    print(f"depth D = {t.span:,}   (sequential: {seq.span:,})")
+    for p in (16, 256, 4096):
+        _, hi = brent_time_bounds(t.work, t.span, p)
+        print(f"  Brent T_{p} <= {int(hi):,}")
+    for k, v in sorted(res.stats.items()):
+        print(f"  {k}: {v}")
+    if args.save_tree:
+        from .graph.io import save_dfs_tree
+
+        save_dfs_tree(args.save_tree, res.root, res.parent, res.depth)
+        print(f"tree written to {args.save_tree}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    sizes = [int(s) for s in args.sizes.split(",")]
+    ms = sweep(
+        args.family,
+        sizes,
+        algorithm=args.algorithm,
+        seeds=tuple(range(args.seeds)),
+    )
+    rows = [
+        (
+            m.n,
+            m.m,
+            m.work,
+            round(m.work_per_edge, 1),
+            m.span,
+            round(m.span_per_sqrt_n, 1),
+        )
+        for m in ms
+    ]
+    print(
+        format_table(
+            ["n", "m", "work", "W/(m+n)", "span", "D/sqrt(n)"], rows
+        )
+    )
+    if len(sizes) >= 2:
+        ws = loglog_slope([m.n for m in ms], [m.work for m in ms])
+        ds = loglog_slope([m.n for m in ms], [m.span for m in ms])
+        print(f"\nwork slope vs n: {ws:.3f}   depth slope vs n: {ds:.3f}")
+    return 0
+
+
+def _cmd_selfcheck(args: argparse.Namespace) -> int:
+    rng = random.Random(args.seed)
+    bad = 0
+    for trial in range(args.trials):
+        n = rng.randrange(2, args.max_n)
+        m = rng.randrange(n - 1, min(3 * n, n * (n - 1) // 2) + 1)
+        g = gnm_random_connected_graph(n, m, seed=rng.randrange(1 << 30))
+        root = rng.randrange(n)
+        res = parallel_dfs(g, root, rng=random.Random(trial))
+        reason = explain_dfs_tree(g, root, res.parent)
+        status = "ok" if reason is None else f"FAIL: {reason}"
+        if reason is not None:
+            bad += 1
+        print(f"trial {trial:3d}: n={n:4d} m={m:5d} root={root:4d}  {status}")
+    print(f"\n{args.trials - bad}/{args.trials} valid DFS trees")
+    return 1 if bad else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Parallel DFS (Ghaffari–Grunau–Qu, SPAA 2023) — "
+        "reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("dfs", help="run the parallel DFS on one graph")
+    p.add_argument("--family", choices=sorted(FAMILIES), default="gnm")
+    p.add_argument("--edge-list", default=None, metavar="FILE",
+                   help="read the graph from an edge-list file instead")
+    p.add_argument("--save-tree", default=None, metavar="FILE",
+                   help="write the resulting DFS tree as JSON")
+    p.add_argument("--n", type=int, default=512)
+    p.add_argument("--root", type=int, default=0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--backend", choices=("rc", "rc-det", "lct"), default="rc"
+    )
+    p.set_defaults(fn=_cmd_dfs)
+
+    p = sub.add_parser("sweep", help="size sweep with scaling slopes")
+    p.add_argument("--family", choices=sorted(FAMILIES), default="gnm")
+    p.add_argument("--sizes", default="256,512,1024")
+    p.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="parallel")
+    p.add_argument("--seeds", type=int, default=1)
+    p.set_defaults(fn=_cmd_sweep)
+
+    p = sub.add_parser("selfcheck", help="validate random instances")
+    p.add_argument("--trials", type=int, default=20)
+    p.add_argument("--max-n", type=int, default=100)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_selfcheck)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,230 @@
+"""The main parallel DFS driver (Theorem 1.1, Section 3).
+
+Recursively grows an initial DFS segment ``T'`` of the input graph:
+
+1. build an O(√n)-path separator of the current component (Theorem 3.1);
+2. absorb it into ``T'`` (Theorem 3.2) — after which every remaining
+   component has at most half the vertices;
+3. for each remaining component ``D`` there is, by Observation 2.2, a
+   unique lowest vertex ``x ∈ T'`` adjacent to ``D``; attach a neighbor
+   ``v ∈ D`` under ``x`` and recurse on ``D`` rooted at ``v`` — all
+   components in parallel.
+
+Since component sizes halve, the recursion has O(log n) levels; each level
+costs Õ(√(level's max component)) depth, summing to Õ(√n) depth, and the
+work telescopes to Õ(m) because every absorption's work is charged to the
+edges it deletes. E1/E2 validate both bounds empirically.
+
+Components below ``small_cutoff`` vertices switch to the sequential DFS —
+a constant-size base case that does not affect the asymptotics (the
+components at one recursion level run in parallel) but removes the
+polylog-factor overhead where it cannot pay off; E4's ablation sweeps it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..baselines.sequential import sequential_dfs
+from ..graph.connectivity import connected_components
+from ..graph.graph import Graph
+from ..pram.tracker import Tracker, log2_ceil
+from .absorption import absorb_separator
+from .separator import build_separator
+from .verify import explain_dfs_tree
+
+__all__ = ["DFSResult", "parallel_dfs"]
+
+
+@dataclass
+class DFSResult:
+    """A DFS tree with its construction statistics."""
+
+    root: int
+    #: parent map over the root's component (root -> None)
+    parent: dict[int, int | None]
+    #: DFS depth of every tree vertex
+    depth: dict[int, int]
+    #: recursion levels used
+    levels: int = 0
+    #: construction statistics (diagnostics / experiments)
+    stats: dict[str, int] = field(default_factory=dict)
+
+
+def parallel_dfs(
+    g: Graph,
+    root: int,
+    tracker: Tracker | None = None,
+    rng: random.Random | None = None,
+    small_cutoff: int = 16,
+    separator_factor: float = 4.0,
+    backend: str = "rc",
+    neighbor_structure: str = "tournament",
+    verify: bool = False,
+) -> DFSResult:
+    """Theorem 1.1: a DFS tree of ``g`` rooted at ``root``.
+
+    Õ(m+n) work and Õ(√n) depth in the tracked cost model. The tree spans
+    exactly the connected component of ``root``. With ``verify=True`` the
+    result is checked against the DFS-tree oracle before returning.
+    """
+    t = tracker if tracker is not None else Tracker()
+    rng = rng if rng is not None else random.Random(0xDF5)
+    if not (0 <= root < g.n):
+        raise ValueError(f"root {root} out of range")
+
+    parent: dict[int, int | None] = {root: None}
+    depth: dict[int, int] = {root: 0}
+    stats = {
+        "separator_rounds": 0,
+        "absorb_iterations": 0,
+        "components_processed": 0,
+        "sequential_base_cases": 0,
+    }
+
+    # restrict to root's component (footnote 4: components are identified
+    # with the parallel CC algorithm)
+    labels = connected_components(g, t)
+    comp_vertices = [v for v in range(g.n) if labels[v] == labels[root]]
+    t.charge(g.n, 1)
+
+    max_level = [0]
+
+    def solve(
+        vertices: list[int],
+        sub_root: int,
+        sub_depth: int,
+        seeds_global: list[tuple[int, int, int]],
+        level: int,
+    ) -> None:
+        """Grow the DFS over the component `vertices` (global ids), rooted
+        at sub_root whose global parent/depth are already recorded.
+        ``seeds_global`` are (global vertex, global T' neighbor, its depth)
+        adjacency facts inherited from outer levels."""
+        max_level[0] = max(max_level[0], level)
+        stats["components_processed"] += 1
+
+        if len(vertices) <= small_cutoff:
+            stats["sequential_base_cases"] += 1
+            sub, mapping = _induced(g, vertices, t)
+            inv = {i: v for v, i in mapping.items()}
+            local = sequential_dfs(sub, mapping[sub_root], t)
+            kids: dict[int, list[int]] = {}
+            for lv, lp in local.items():
+                if lp is not None:
+                    parent[inv[lv]] = inv[lp]
+                    kids.setdefault(lp, []).append(lv)
+            # depths by walking down the tree from the root
+            stack = [(mapping[sub_root], sub_depth)]
+            while stack:
+                lv, d = stack.pop()
+                t.op(1)
+                depth[inv[lv]] = d
+                for ch in kids.get(lv, ()):
+                    stack.append((ch, d + 1))
+            return
+
+        sub, mapping = _induced(g, vertices, t)
+        inv = {i: v for v, i in mapping.items()}
+
+        sep = build_separator(
+            sub, t, rng, target_factor=separator_factor,
+            neighbor_structure=neighbor_structure,
+        )
+        stats["separator_rounds"] += sep.rounds
+
+        seeds_local = [
+            (mapping[vg], xg, d)
+            for vg, xg, d in seeds_global
+            if vg in mapping and vg != sub_root
+        ]
+        t.charge(len(seeds_global) + 1, 1)
+
+        outcome = absorb_separator(
+            sub,
+            sep.paths,
+            mapping[sub_root],
+            sub_depth,
+            parent,
+            depth,
+            to_global=inv,
+            seeds=seeds_local,
+            t=t,
+            rng=rng,
+            backend=backend,
+        )
+        stats["absorb_iterations"] += outcome.iterations
+
+        # remaining components (local ids) and their attachment points
+        absorbed = outcome.absorbed_local
+        remaining = [lv for lv in range(sub.n) if lv not in absorbed]
+        t.charge(sub.n, 1)
+        if not remaining:
+            return
+        rsub, rmap = _induced(sub, remaining, t)
+        rlabels = connected_components(rsub, t)
+        rinv = {i: lv for lv, i in rmap.items()}
+        groups: dict[int, list[int]] = {}
+        for ri, lab in enumerate(rlabels):
+            groups.setdefault(lab, []).append(rinv[ri])
+        # parallel grouping (semisort): O(k) work, O(log) span
+        t.charge(len(rlabels), log2_ceil(max(2, len(rlabels))) + 1)
+
+        ds = outcome.structure
+        tasks = []
+        for lab in sorted(groups):
+            comp_local = groups[lab]
+            if verify:
+                assert len(comp_local) <= len(vertices) / 2, (
+                    "separator absorption left an oversized component"
+                )
+            v_local, x_global, dx = ds.lowest_node(comp_local[0])
+            v_glob = inv[v_local]
+            parent[v_glob] = x_global
+            depth[v_glob] = dx + 1
+            # inherited adjacency facts for the child level
+            child_seeds = []
+            for lv in comp_local:
+                wit = ds.low_witness.get(lv)
+                if wit is not None:
+                    child_seeds.append((inv[lv], wit[1], wit[0]))
+            t.charge(len(comp_local), log2_ceil(max(2, len(comp_local))) + 1)
+            tasks.append(
+                ([inv[lv] for lv in comp_local], v_glob, dx + 1, child_seeds)
+            )
+
+        t.parallel_for(
+            tasks,
+            lambda task: solve(task[0], task[1], task[2], task[3], level + 1),
+        )
+
+    solve(comp_vertices, root, 0, [], 1)
+
+    result = DFSResult(
+        root=root, parent=parent, depth=depth, levels=max_level[0], stats=stats
+    )
+    if verify:
+        reason = explain_dfs_tree(g, root, parent)
+        if reason is not None:
+            raise AssertionError(
+                f"parallel DFS produced an invalid tree: {reason}"
+            )
+    return result
+
+
+def _induced(
+    g: Graph, vertices: list[int], t: Tracker
+) -> tuple[Graph, dict[int, int]]:
+    """Induced subgraph with cost charging (parallel gather + relabel)."""
+    mapping = {v: i for i, v in enumerate(vertices)}
+    edges = []
+    scanned = 0
+    for v in vertices:
+        for w in g.adj[v]:
+            scanned += 1
+            if v < w and w in mapping:
+                edges.append((mapping[v], mapping[w]))
+    # parallel gather + relabel: O(scanned) work, O(log) span
+    t.charge(len(vertices) + scanned, log2_ceil(max(2, len(vertices))) + 1)
+    return Graph(len(vertices), edges), mapping

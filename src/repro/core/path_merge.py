@@ -1,0 +1,269 @@
+"""Path merging (Section 4.2–4.3, Lemmas 4.2–4.4).
+
+Given a separator consisting of long paths ``L`` and short paths ``S``,
+find a *valid* set of vertex-disjoint connector paths ``P``: each grows out
+of a long path's head, ends either on a (contracted) short path (``P_1``,
+"matched") or hangs unmatched (``P_2``), and all the guarantees of
+Lemma 4.2 hold:
+
+1. maximality — no path from ``L - L̂`` to ``S - Ŝ`` through ``D``;
+2. no path from the discarded parts ``L*`` to ``S - Ŝ`` through ``D``;
+3. ``|P_2| <= sqrt(n)`` (the process stops once fewer than √n heads are
+   attempting matching), hence ``|P_2| <= k/48`` when ``k > 48 sqrt(n)``.
+
+Mechanics (Section 4.2): work in the auxiliary graph ``G'`` with every
+short path contracted to a single vertex. Heads extend by matching into
+*available* vertices; a head with no available neighbor dies and the path
+backtracks. Each step runs the exponential-phase matching of Section 4.3:
+phase ``i`` lets each still-unmatched head select ``2^i`` available
+neighbors through the Lemma 4.5 structure, then computes a maximal
+matching (Lemma 2.5) on the selection graph — this is what keeps the work
+at ``O(N_change · polylog)`` per step instead of rescanning adjacency.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..graph.graph import Graph
+from ..matching.luby import maximal_matching
+from ..pram.tracker import Tracker, log2_ceil
+from ..structures.adjacency_query import ActiveNeighborStructure
+from ..structures.naive_active import NaiveActiveNeighborStructure
+
+__all__ = ["MergeResult", "LongState", "merge_paths"]
+
+
+@dataclass
+class LongState:
+    """Final state of one long path after the merging process."""
+
+    #: original vertex list (as given)
+    orig: list[int]
+    #: surviving path: orig prefix + extension, in path order (head last)
+    cur: list[int]
+    #: original vertices killed during backtracking (the L* candidates)
+    killed_orig: list[int]
+    #: extension vertices killed (they die back into D)
+    killed_ext: list[int]
+    #: 'succeeded' (P1) | 'active' (P2) | 'dead' | 'idle'
+    status: str = "idle"
+    #: for succeeded paths: (short path index, contact vertex y in the short)
+    joined_short: tuple[int, int] | None = None
+
+    @property
+    def extension(self) -> list[int]:
+        """The connector piece p (without the anchor x)."""
+        n_orig_survive = sum(1 for v in self.cur if v in self._orig_set)
+        return self.cur[n_orig_survive:]
+
+    @property
+    def _orig_set(self) -> set[int]:
+        return set(self.orig)
+
+
+@dataclass
+class MergeResult:
+    longs: list[LongState]
+    #: indices of succeeded long paths (P1) / still-active ones (P2)
+    p1: list[int] = field(default_factory=list)
+    p2: list[int] = field(default_factory=list)
+    #: short path indices that were joined (Ŝ)
+    joined_shorts: set[int] = field(default_factory=set)
+    steps: int = 0
+
+
+def merge_paths(
+    g: Graph,
+    t: Tracker,
+    long_paths: list[list[int]],
+    short_paths: list[list[int]],
+    rng: random.Random,
+    threshold: float | None = None,
+    neighbor_structure: str = "tournament",
+) -> MergeResult:
+    """Run the Section 4.2 path-merging process. Returns the final states.
+
+    ``threshold`` is the active-head count below which the process stops
+    (default ``sqrt(g.n)``; ablation E4 sweeps it).
+    ``neighbor_structure`` selects the Lemma 4.5 structure ("tournament",
+    the paper's) or the rescanning baseline ("naive", GPV88-style; E9/E5).
+    """
+    n = g.n
+    if threshold is None:
+        threshold = max(1.0, n ** 0.5)
+
+    # ------------------------------------------------------------------
+    # build the auxiliary graph G' with short paths contracted
+    # ------------------------------------------------------------------
+    on_short = {}  # orig vertex -> short index
+    n_short_members = 0
+    for si, s in enumerate(short_paths):
+        for v in s:
+            n_short_members += 1
+            on_short[v] = si
+    t.charge(n_short_members, 1)
+    # G' ids: 0..n-1 for real vertices (short members unused), then one id
+    # per short path
+    contract_base = n
+    gp_edges: set[tuple[int, int]] = set()
+    #: (real G' endpoint, contracted id) -> a concrete contact vertex on the short
+    contact: dict[tuple[int, int], int] = {}
+
+    def gp_id(v: int) -> int:
+        si = on_short.get(v)
+        return v if si is None else contract_base + si
+
+    t.charge(g.m, log2_ceil(max(2, g.m)) + 1)
+    for u, v in g.edges:
+        a, b = gp_id(u), gp_id(v)
+        if a == b:
+            continue
+        key = (a, b) if a < b else (b, a)
+        gp_edges.add(key)
+        if a >= contract_base:
+            contact.setdefault((b, a), u)
+        if b >= contract_base:
+            contact.setdefault((a, b), v)
+    gp = Graph(contract_base + len(short_paths), sorted(gp_edges))
+    t.charge(0, log2_ceil(max(2, g.m)))  # dedup via parallel hashing
+
+    if neighbor_structure == "tournament":
+        ans = ActiveNeighborStructure(gp, tracker=t)
+    elif neighbor_structure == "naive":
+        ans = NaiveActiveNeighborStructure(gp, tracker=t)
+    else:
+        raise ValueError(f"unknown neighbor_structure {neighbor_structure!r}")
+
+    # long-path members start inactive ("contained in a path")
+    long_members = [v for l in long_paths for v in l]
+    if long_members:
+        ans.make_inactive(long_members)
+    # short members' real ids are unused in G'; deactivate them so queries
+    # can never return them (they exist as padding ids only)
+    padding = sorted(set(on_short) )
+    if padding:
+        ans.make_inactive(padding)
+
+    # ------------------------------------------------------------------
+    # merging process state
+    # ------------------------------------------------------------------
+    longs = [
+        LongState(orig=list(l), cur=list(l), killed_orig=[], killed_ext=[])
+        for l in long_paths
+    ]
+    for st in longs:
+        st.status = "active" if st.cur else "dead"
+    t.charge(len(longs) + 1, 1)
+
+    orig_sets = [set(l) for l in long_paths]
+    result = MergeResult(longs=longs)
+
+    active = [i for i, st in enumerate(longs) if st.status == "active"]
+
+    max_steps = 4 * n + 16
+    steps = 0
+    while len(active) >= threshold and active:
+        steps += 1
+        if steps > max_steps:
+            raise RuntimeError("path merging did not terminate (bug)")
+
+        # ---- one step: every active head attempts matching ----
+        if hasattr(ans, "rebuild"):
+            # the rescanning baseline re-reads the whole input per step
+            ans.rebuild()
+        unmatched = list(active)
+        matched_pairs: list[tuple[int, int]] = []  # (long idx, G' vertex)
+        phases = log2_ceil(max(2, gp.n)) + 1
+        for ph in range(phases + 1):
+            if not unmatched:
+                break
+            want = 1 << ph
+            heads = [longs[i].cur[-1] for i in unmatched]
+            selections = ans.query(heads, want)
+            # bipartite selection graph H_ph: heads on one side, selected
+            # available vertices on the other
+            cand_ids: dict[int, int] = {}
+            left_ids: dict[int, int] = {}
+            raw: list[tuple[int, int]] = []  # (long idx, selected G' vertex)
+            sel_total = 0
+            for li, sel in zip(unmatched, selections):
+                if not sel:
+                    continue
+                left_ids.setdefault(li, len(left_ids))
+                for v in sel:
+                    sel_total += 1
+                    cand_ids.setdefault(v, len(cand_ids))
+                    raw.append((li, v))
+            t.charge(
+                len(unmatched) + sel_total,
+                log2_ceil(max(2, len(unmatched) + sel_total)) + 1,
+            )
+            if not raw:
+                break
+            nl = len(left_ids)
+            h_edges = [(left_ids[li], nl + cand_ids[v]) for li, v in raw]
+            chosen = maximal_matching(
+                t, nl + len(cand_ids), h_edges, rng
+            )
+            # apply matches
+            inv_left = {a: li for li, a in left_ids.items()}
+            inv_cand = {nl + b: v for v, b in cand_ids.items()}
+            newly_inactive: list[int] = []
+            matched_now: set[int] = set()
+            for eid in chosen:
+                a, b = h_edges[eid]
+                li = inv_left[a]
+                v = inv_cand[b]
+                t.op(1)
+                matched_pairs.append((li, v))
+                matched_now.add(li)
+                newly_inactive.append(v)
+            if newly_inactive:
+                ans.make_inactive(sorted(set(newly_inactive)))
+            unmatched = [li for li in unmatched if li not in matched_now]
+            t.charge(len(unmatched) + 1, 1)
+
+        # ---- commit matches ----
+        def commit(pair: tuple[int, int]) -> None:
+            li, v = pair
+            t.op(1)
+            st = longs[li]
+            if v >= contract_base:
+                si = v - contract_base
+                head = st.cur[-1]
+                y = contact[(head, v)]
+                st.status = "succeeded"
+                st.joined_short = (si, y)
+                result.p1.append(li)
+                result.joined_shorts.add(si)
+            else:
+                st.cur.append(v)
+
+        t.parallel_for(matched_pairs, commit)
+
+        # ---- kills: unmatched heads die and paths backtrack ----
+        def kill(li: int) -> None:
+            t.op(1)
+            st = longs[li]
+            v = st.cur.pop()
+            if v in orig_sets[li]:
+                st.killed_orig.append(v)
+            else:
+                st.killed_ext.append(v)
+            if not st.cur:
+                st.status = "dead"
+
+        t.parallel_for(unmatched, kill)
+
+        active = [i for i in active if longs[i].status == "active"]
+        t.charge(len(longs) + 1, 1)
+
+    # paths still attempting when the threshold fired are the P2 set
+    for i in active:
+        longs[i].status = "active"
+        result.p2.append(i)
+    t.charge(len(active) + 1, 1)
+    result.steps = steps
+    return result

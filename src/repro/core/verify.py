@@ -1,0 +1,271 @@
+"""Correctness oracles: DFS-tree validity, initial segments, separators.
+
+These are the ground-truth checkers every test and experiment relies on.
+They are deliberately written as straightforward sequential algorithms —
+trusted reference code, not part of the instrumented PRAM path.
+
+Key facts used:
+
+* A spanning tree ``T`` of an undirected graph, rooted at ``r``, is a DFS
+  tree iff every non-tree edge joins an ancestor-descendant pair (no cross
+  edges) — checked via Euler in/out intervals.
+* Observation 2.2: a rooted tree ``T'`` is an *initial segment* iff no two
+  incomparable vertices of ``T'`` are joined by a path whose internal
+  vertices avoid ``T'`` — equivalently, for every component ``C`` of
+  ``G - T'``, the neighbors of ``C`` inside ``T'`` lie on one root-to-leaf
+  path (are pairwise comparable).
+* Definition 2.3: ``Q`` separates ``H`` iff the largest component of
+  ``H - Q`` has at most ``|H| / 2`` vertices.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..graph.graph import Graph
+
+__all__ = [
+    "is_valid_dfs_tree",
+    "explain_dfs_tree",
+    "is_initial_segment",
+    "is_separator",
+    "check_path_collection",
+    "tree_depths",
+]
+
+
+def tree_depths(parent: Mapping[int, int | None], root: int) -> dict[int, int]:
+    """Depths of all vertices in a parent map (root depth 0)."""
+    children: dict[int, list[int]] = {}
+    for v, p in parent.items():
+        if p is not None:
+            children.setdefault(p, []).append(v)
+    depth = {root: 0}
+    stack = [root]
+    while stack:
+        u = stack.pop()
+        for w in children.get(u, ()):
+            depth[w] = depth[u] + 1
+            stack.append(w)
+    return depth
+
+
+def explain_dfs_tree(
+    g: Graph, root: int, parent: Mapping[int, int | None]
+) -> str | None:
+    """Return None if ``parent`` encodes a valid DFS tree of ``g`` rooted at
+    ``root``, else a human-readable reason."""
+    if root not in parent:
+        return f"root {root} missing from the tree"
+    if parent.get(root) is not None:
+        return f"root {root} has a parent"
+    # spanning: exactly the component of root
+    component = set()
+    stack = [root]
+    while stack:
+        u = stack.pop()
+        if u in component:
+            continue
+        component.add(u)
+        stack.extend(g.adj[u])
+    if set(parent) != component:
+        missing = component - set(parent)
+        extra = set(parent) - component
+        return f"tree covers wrong vertex set (missing={sorted(missing)[:5]}, extra={sorted(extra)[:5]})"
+    # every parent link is a real edge; structure is a tree reaching root
+    children: dict[int, list[int]] = {}
+    for v, p in parent.items():
+        if p is None:
+            if v != root:
+                return f"vertex {v} has no parent but is not the root"
+            continue
+        if p not in parent:
+            return f"parent {p} of {v} not in the tree"
+        if not g.has_edge(v, p):
+            return f"tree edge ({p}, {v}) is not a graph edge"
+        children.setdefault(p, []).append(v)
+    # reachability from root within the tree (also detects cycles)
+    seen = {root}
+    stack = [root]
+    while stack:
+        u = stack.pop()
+        for w in children.get(u, ()):
+            if w in seen:
+                return f"vertex {w} reached twice (cycle in parent map)"
+            seen.add(w)
+            stack.append(w)
+    if seen != set(parent):
+        lost = set(parent) - seen
+        return f"vertices not reachable from root in the tree: {sorted(lost)[:5]}"
+    # DFS property: non-tree edges connect ancestor-descendant pairs.
+    tin: dict[int, int] = {}
+    tout: dict[int, int] = {}
+    clock = 0
+    stack2: list[tuple[int, bool]] = [(root, False)]
+    while stack2:
+        u, done = stack2.pop()
+        if done:
+            tout[u] = clock
+            clock += 1
+            continue
+        tin[u] = clock
+        clock += 1
+        stack2.append((u, True))
+        for w in children.get(u, ()):
+            stack2.append((w, False))
+    for u, v in g.edges:
+        if u not in parent or v not in parent:
+            continue
+        if parent.get(u) == v or parent.get(v) == u:
+            continue
+        anc_uv = tin[u] <= tin[v] and tout[v] <= tout[u]
+        anc_vu = tin[v] <= tin[u] and tout[u] <= tout[v]
+        if not (anc_uv or anc_vu):
+            return f"cross edge ({u}, {v}): endpoints are incomparable"
+    return None
+
+
+def is_valid_dfs_tree(
+    g: Graph, root: int, parent: Mapping[int, int | None]
+) -> bool:
+    return explain_dfs_tree(g, root, parent) is None
+
+
+def is_initial_segment(
+    g: Graph, root: int, parent: Mapping[int, int | None]
+) -> bool:
+    """Observation 2.2 check (sequential oracle, O(n + m) per component).
+
+    ``parent`` encodes a rooted tree T' over a subset of g's vertices. True
+    iff T' can be extended to a full DFS tree of root's component.
+    """
+    if root not in parent or parent.get(root) is not None:
+        return False
+    # tree edges must be graph edges and reach the root
+    children: dict[int, list[int]] = {}
+    for v, p in parent.items():
+        if p is None:
+            continue
+        if not g.has_edge(v, p):
+            return False
+        children.setdefault(p, []).append(v)
+    seen = {root}
+    stack = [root]
+    order = [root]
+    while stack:
+        u = stack.pop()
+        for w in children.get(u, ()):
+            if w in seen:
+                return False
+            seen.add(w)
+            order.append(w)
+            stack.append(w)
+    if seen != set(parent):
+        return False
+    # ancestor intervals
+    tin: dict[int, int] = {}
+    tout: dict[int, int] = {}
+    clock = 0
+    stack2: list[tuple[int, bool]] = [(root, False)]
+    while stack2:
+        u, done = stack2.pop()
+        if done:
+            tout[u] = clock
+            clock += 1
+            continue
+        tin[u] = clock
+        clock += 1
+        stack2.append((u, True))
+        for w in children.get(u, ()):
+            stack2.append((w, False))
+
+    def comparable(a: int, b: int) -> bool:
+        return (tin[a] <= tin[b] and tout[b] <= tout[a]) or (
+            tin[b] <= tin[a] and tout[a] <= tout[b]
+        )
+
+    tset = set(parent)
+    # direct edges between incomparable tree vertices are fatal: a length-1
+    # path has no internal vertices, so it vacuously violates Observation
+    # 2.2 (and indeed no extension can ever make its endpoints comparable)
+    for u, v in g.edges:
+        if u in tset and v in tset and not comparable(u, v):
+            return False
+
+    # for every component of G - T', its T'-neighbors must be pairwise
+    # comparable
+    visited: set[int] = set()
+    for s in range(g.n):
+        if s in tset or s in visited:
+            continue
+        comp = [s]
+        visited.add(s)
+        stack = [s]
+        boundary: set[int] = set()
+        while stack:
+            u = stack.pop()
+            for w in g.adj[u]:
+                if w in tset:
+                    boundary.add(w)
+                elif w not in visited:
+                    visited.add(w)
+                    comp.append(w)
+                    stack.append(w)
+        # also: direct edges between incomparable tree vertices are fine for
+        # initial segments (they become back edges later) — only *outside*
+        # connections matter, which is what `boundary` captures.
+        blist = sorted(boundary)
+        for i in range(len(blist)):
+            for j in range(i + 1, len(blist)):
+                if not comparable(blist[i], blist[j]):
+                    return False
+    return True
+
+
+def is_separator(g: Graph, q: set[int]) -> bool:
+    """Definition 2.3: largest component of g - q has <= n/2 vertices."""
+    n = g.n
+    if n == 0:
+        return True
+    visited: set[int] = set()
+    for s in range(n):
+        if s in q or s in visited:
+            continue
+        size = 0
+        stack = [s]
+        visited.add(s)
+        while stack:
+            u = stack.pop()
+            size += 1
+            for w in g.adj[u]:
+                if w not in q and w not in visited:
+                    visited.add(w)
+                    stack.append(w)
+        if size > n / 2:
+            return False
+    return True
+
+
+def check_path_collection(
+    g: Graph, paths: Sequence[Sequence[int]]
+) -> str | None:
+    """Validate that ``paths`` are vertex-disjoint simple paths of g.
+
+    Returns None if valid, else a reason.
+    """
+    seen: set[int] = set()
+    for idx, p in enumerate(paths):
+        if not p:
+            return f"path {idx} is empty"
+        if len(set(p)) != len(p):
+            return f"path {idx} repeats a vertex"
+        for v in p:
+            if v in seen:
+                return f"vertex {v} appears in more than one path"
+            seen.add(v)
+            if not (0 <= v < g.n):
+                return f"vertex {v} out of range"
+        for a, b in zip(p, p[1:]):
+            if not g.has_edge(a, b):
+                return f"path {idx} uses non-edge ({a}, {b})"
+    return None

@@ -1,0 +1,20 @@
+"""Graph substrate: representation, generators, parallel connectivity."""
+
+from .graph import Graph
+from .connectivity import (
+    connected_components,
+    spanning_forest,
+    component_sizes,
+    largest_component_size,
+)
+from . import generators, traversal
+
+__all__ = [
+    "Graph",
+    "connected_components",
+    "spanning_forest",
+    "component_sizes",
+    "largest_component_size",
+    "generators",
+    "traversal",
+]

@@ -1,0 +1,360 @@
+"""Workload generators: the graph families used by the benchmark harness.
+
+The paper's bounds are worst-case over all undirected graphs, so the
+experiment sweeps (DESIGN.md section 4) cover a spread of families with very
+different structure: sparse random graphs, bounded-degree meshes, trees,
+expanders, and the path/star/caterpillar extremes that stress individual
+subsystems (list ranking, rake-and-compress, separator construction).
+
+All generators take an explicit ``seed`` and are deterministic given it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from .graph import Graph
+
+__all__ = [
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "complete_graph",
+    "grid_graph",
+    "hypercube_graph",
+    "binary_tree_graph",
+    "random_tree",
+    "caterpillar_graph",
+    "broom_graph",
+    "lollipop_graph",
+    "barbell_graph",
+    "gnm_random_graph",
+    "gnm_random_connected_graph",
+    "random_regular_graph",
+    "small_world_graph",
+    "two_level_community_graph",
+    "FAMILIES",
+    "make_family",
+]
+
+
+def path_graph(n: int) -> Graph:
+    """The n-vertex path 0-1-...-(n-1): worst case for sequential DFS depth."""
+    return Graph(n, [(i, i + 1) for i in range(n - 1)])
+
+
+def cycle_graph(n: int) -> Graph:
+    if n < 3:
+        raise ValueError("cycle needs n >= 3")
+    return Graph(n, [(i, (i + 1) % n) for i in range(n)])
+
+
+def star_graph(n: int) -> Graph:
+    """Center 0 joined to 1..n-1: stresses the rake operation / high degree."""
+    if n < 1:
+        raise ValueError("star needs n >= 1")
+    return Graph(n, [(0, i) for i in range(1, n)])
+
+
+def complete_graph(n: int) -> Graph:
+    return Graph(n, [(i, j) for i in range(n) for j in range(i + 1, n)])
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """rows x cols mesh: the canonical bounded-degree planar workload."""
+    def vid(r: int, c: int) -> int:
+        return r * cols + c
+
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                edges.append((vid(r, c), vid(r, c + 1)))
+            if r + 1 < rows:
+                edges.append((vid(r, c), vid(r + 1, c)))
+    return Graph(rows * cols, edges)
+
+
+def hypercube_graph(dim: int) -> Graph:
+    n = 1 << dim
+    edges = []
+    for v in range(n):
+        for b in range(dim):
+            u = v ^ (1 << b)
+            if u > v:
+                edges.append((v, u))
+    return Graph(n, edges)
+
+
+def binary_tree_graph(n: int) -> Graph:
+    """Complete-ish binary tree on n vertices (heap indexing)."""
+    edges = []
+    for v in range(1, n):
+        edges.append(((v - 1) // 2, v))
+    return Graph(n, edges)
+
+
+def random_tree(n: int, seed: int = 0) -> Graph:
+    """Uniform random labelled tree via a Prüfer-like attachment process."""
+    rng = random.Random(seed)
+    if n <= 1:
+        return Graph(n)
+    perm = list(range(n))
+    rng.shuffle(perm)
+    edges = []
+    for i in range(1, n):
+        j = rng.randrange(i)
+        edges.append((perm[j], perm[i]))
+    return Graph(n, edges)
+
+
+def caterpillar_graph(spine: int, legs_per_vertex: int = 2) -> Graph:
+    """A path with pendant legs: mixes rake and compress pressure."""
+    edges = [(i, i + 1) for i in range(spine - 1)]
+    nxt = spine
+    for s in range(spine):
+        for _ in range(legs_per_vertex):
+            edges.append((s, nxt))
+            nxt += 1
+    return Graph(nxt, edges)
+
+
+def broom_graph(handle: int, bristles: int) -> Graph:
+    """A path of length ``handle`` ending in a star of ``bristles`` leaves."""
+    edges = [(i, i + 1) for i in range(handle - 1)]
+    nxt = handle
+    for _ in range(bristles):
+        edges.append((handle - 1, nxt))
+        nxt += 1
+    return Graph(nxt, edges)
+
+
+def lollipop_graph(clique: int, tail: int) -> Graph:
+    """K_clique with a path tail: classic DFS adversarial shape."""
+    edges = [(i, j) for i in range(clique) for j in range(i + 1, clique)]
+    prev = clique - 1
+    for t in range(tail):
+        edges.append((prev, clique + t))
+        prev = clique + t
+    return Graph(clique + tail, edges)
+
+
+def barbell_graph(clique: int, bridge: int) -> Graph:
+    """Two cliques joined by a path: a natural small-separator instance."""
+    edges = [(i, j) for i in range(clique) for j in range(i + 1, clique)]
+    off = clique + bridge
+    edges += [(off + i, off + j) for i in range(clique) for j in range(i + 1, clique)]
+    chain = [clique - 1] + [clique + t for t in range(bridge)] + [off]
+    for a, b in zip(chain, chain[1:]):
+        edges.append((a, b))
+    return Graph(2 * clique + bridge, edges)
+
+
+def gnm_random_graph(n: int, m: int, seed: int = 0) -> Graph:
+    """Uniform G(n, m) (no loops / multi-edges)."""
+    max_m = n * (n - 1) // 2
+    if m > max_m:
+        raise ValueError(f"m={m} exceeds max {max_m} for n={n}")
+    rng = random.Random(seed)
+    chosen: set[tuple[int, int]] = set()
+    while len(chosen) < m:
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u == v:
+            continue
+        key = (u, v) if u < v else (v, u)
+        chosen.add(key)
+    return Graph(n, sorted(chosen))
+
+
+def gnm_random_connected_graph(n: int, m: int, seed: int = 0) -> Graph:
+    """Connected random graph: a random spanning tree plus m-(n-1) random edges."""
+    if m < n - 1:
+        raise ValueError(f"connected graph needs m >= n-1 (got m={m}, n={n})")
+    rng = random.Random(seed)
+    tree = random_tree(n, seed=rng.randrange(1 << 30))
+    chosen = set(tree.edges)
+    max_m = n * (n - 1) // 2
+    if m > max_m:
+        raise ValueError(f"m={m} exceeds max {max_m} for n={n}")
+    while len(chosen) < m:
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u == v:
+            continue
+        key = (u, v) if u < v else (v, u)
+        chosen.add(key)
+    return Graph(n, sorted(chosen))
+
+
+def random_regular_graph(n: int, d: int, seed: int = 0, max_tries: int = 200) -> Graph:
+    """Random d-regular graph via the configuration model with restarts.
+
+    Random regular graphs are expanders w.h.p., giving the "no small
+    separator helps you" stress case for the separator construction.
+    """
+    if (n * d) % 2 != 0:
+        raise ValueError("n*d must be even")
+    if d >= n:
+        raise ValueError("need d < n")
+    rng = random.Random(seed)
+    # Pairing with double-edge-swap repair: full-restart rejection sampling
+    # has acceptance probability ~exp(-(d^2-1)/4), hopeless already at d=6.
+    stubs = [v for v in range(n) for _ in range(d)]
+    rng.shuffle(stubs)
+    pairs = [
+        tuple(sorted((stubs[i], stubs[i + 1]))) for i in range(0, len(stubs), 2)
+    ]
+    for _ in range(max_tries * max(4, n)):
+        counts: dict[tuple[int, int], int] = {}
+        for p in pairs:
+            counts[p] = counts.get(p, 0) + 1
+        bad = [
+            i for i, (u, v) in enumerate(pairs) if u == v or counts[(u, v)] > 1
+        ]
+        if not bad:
+            return Graph(n, pairs)
+        # repair one defective pair by a double edge swap with a random pair
+        i = bad[rng.randrange(len(bad))]
+        u, v = pairs[i]
+        for _ in range(200):
+            j = rng.randrange(len(pairs))
+            x, y = pairs[j]
+            if j == i or len({u, v, x, y}) < 4:
+                continue
+            a = (u, x) if u < x else (x, u)
+            b = (v, y) if v < y else (y, v)
+            if a == b or counts.get(a, 0) > 0 or counts.get(b, 0) > 0:
+                continue
+            pairs[i], pairs[j] = a, b
+            break
+        else:
+            rng.shuffle(stubs)
+            pairs = [
+                tuple(sorted((stubs[k], stubs[k + 1])))
+                for k in range(0, len(stubs), 2)
+            ]
+    raise RuntimeError(f"failed to sample a {d}-regular graph on {n} vertices")
+
+
+def small_world_graph(n: int, k: int = 4, beta: float = 0.1, seed: int = 0) -> Graph:
+    """Watts–Strogatz small world: ring lattice with rewired shortcuts."""
+    if k % 2 != 0 or k >= n:
+        raise ValueError("k must be even and < n")
+    rng = random.Random(seed)
+    edges: set[tuple[int, int]] = set()
+    for v in range(n):
+        for off in range(1, k // 2 + 1):
+            u = (v + off) % n
+            key = (v, u) if v < u else (u, v)
+            edges.add(key)
+    rewired: set[tuple[int, int]] = set()
+    for key in sorted(edges):
+        if rng.random() < beta:
+            u = key[0]
+            for _ in range(20):
+                w = rng.randrange(n)
+                nk = (u, w) if u < w else (w, u)
+                if w != u and nk not in edges and nk not in rewired:
+                    rewired.add(nk)
+                    break
+            else:
+                rewired.add(key)
+        else:
+            rewired.add(key)
+    return Graph(n, sorted(rewired))
+
+
+def two_level_community_graph(
+    n: int, communities: int = 8, p_extra: float = 1.0, seed: int = 0
+) -> Graph:
+    """Dense communities joined sparsely — the "social network" workload.
+
+    Each community is a connected gnm blob; one bridge edge joins
+    consecutive communities, plus ``p_extra * communities`` random
+    inter-community shortcuts.
+    """
+    rng = random.Random(seed)
+    sizes = [n // communities] * communities
+    for i in range(n % communities):
+        sizes[i] += 1
+    edges: list[tuple[int, int]] = []
+    offsets = []
+    off = 0
+    for s in sizes:
+        offsets.append(off)
+        blob = gnm_random_connected_graph(s, min(2 * s, s * (s - 1) // 2), seed=rng.randrange(1 << 30))
+        edges += [(u + off, v + off) for u, v in blob.edges]
+        off += s
+    for c in range(communities - 1):
+        a = offsets[c] + rng.randrange(sizes[c])
+        b = offsets[c + 1] + rng.randrange(sizes[c + 1])
+        edges.append((a, b))
+    extra = int(p_extra * communities)
+    have = set((min(u, v), max(u, v)) for u, v in edges)
+    tries = 0
+    while extra > 0 and tries < 100 * communities:
+        tries += 1
+        c1, c2 = rng.randrange(communities), rng.randrange(communities)
+        if c1 == c2:
+            continue
+        a = offsets[c1] + rng.randrange(sizes[c1])
+        b = offsets[c2] + rng.randrange(sizes[c2])
+        key = (min(a, b), max(a, b))
+        if key in have:
+            continue
+        have.add(key)
+        edges.append(key)
+        extra -= 1
+    return Graph(n, edges)
+
+
+# ----------------------------------------------------------------------
+# Named families for the benchmark sweeps
+# ----------------------------------------------------------------------
+
+def _fam_gnm(n: int, seed: int) -> Graph:
+    return gnm_random_connected_graph(n, 4 * n, seed=seed)
+
+
+def _fam_grid(n: int, seed: int) -> Graph:
+    side = max(2, int(round(n ** 0.5)))
+    return grid_graph(side, side)
+
+
+def _fam_tree(n: int, seed: int) -> Graph:
+    return random_tree(n, seed=seed)
+
+
+def _fam_regular(n: int, seed: int) -> Graph:
+    nn = n if (n * 6) % 2 == 0 else n + 1
+    return random_regular_graph(nn, 6, seed=seed)
+
+
+def _fam_path(n: int, seed: int) -> Graph:
+    return path_graph(n)
+
+
+def _fam_smallworld(n: int, seed: int) -> Graph:
+    return small_world_graph(n, k=6, beta=0.1, seed=seed)
+
+
+#: family name -> generator(n, seed). Used by the E1/E2/E9 sweeps.
+FAMILIES: dict[str, Callable[[int, int], Graph]] = {
+    "gnm": _fam_gnm,
+    "grid": _fam_grid,
+    "tree": _fam_tree,
+    "regular": _fam_regular,
+    "path": _fam_path,
+    "smallworld": _fam_smallworld,
+}
+
+
+def make_family(name: str, n: int, seed: int = 0) -> Graph:
+    """Instantiate a named benchmark family at size ~n."""
+    try:
+        fam = FAMILIES[name]
+    except KeyError:
+        raise KeyError(f"unknown family {name!r}; known: {sorted(FAMILIES)}") from None
+    return fam(n, seed)

@@ -1,0 +1,78 @@
+"""Sequential traversal helpers used by tests, oracles and generators.
+
+These are *not* part of the PRAM algorithm path; they are trusted reference
+implementations against which the parallel code is cross-validated.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .graph import Graph
+
+__all__ = ["bfs_tree", "bfs_distances", "tree_path", "reachable_from"]
+
+
+def bfs_tree(g: Graph, root: int) -> list[int | None]:
+    """BFS parents from ``root``; ``None`` for unreached or the root itself."""
+    parent: list[int | None] = [None] * g.n
+    seen = [False] * g.n
+    seen[root] = True
+    q = deque([root])
+    while q:
+        u = q.popleft()
+        for w in g.adj[u]:
+            if not seen[w]:
+                seen[w] = True
+                parent[w] = u
+                q.append(w)
+    return parent
+
+
+def bfs_distances(g: Graph, root: int) -> list[int]:
+    """Hop distances from ``root``; -1 for unreachable vertices."""
+    dist = [-1] * g.n
+    dist[root] = 0
+    q = deque([root])
+    while q:
+        u = q.popleft()
+        for w in g.adj[u]:
+            if dist[w] < 0:
+                dist[w] = dist[u] + 1
+                q.append(w)
+    return dist
+
+
+def reachable_from(g: Graph, root: int) -> set[int]:
+    """All vertices reachable from ``root``."""
+    seen = {root}
+    stack = [root]
+    while stack:
+        u = stack.pop()
+        for w in g.adj[u]:
+            if w not in seen:
+                seen.add(w)
+                stack.append(w)
+    return seen
+
+
+def tree_path(parent: list[int | None], u: int, v: int) -> list[int]:
+    """Path from u to v in a rooted tree given parent pointers.
+
+    The tree must contain both endpoints (parent chain reaches a common
+    root). Used as the oracle for RC-tree path queries.
+    """
+    anc_u = []
+    x: int | None = u
+    while x is not None:
+        anc_u.append(x)
+        x = parent[x]
+    index = {node: i for i, node in enumerate(anc_u)}
+    path_v = []
+    y: int | None = v
+    while y is not None and y not in index:
+        path_v.append(y)
+        y = parent[y]
+    if y is None:
+        raise ValueError(f"{u} and {v} are not in the same tree")
+    return anc_u[: index[y] + 1] + list(reversed(path_v))

@@ -1,0 +1,17 @@
+"""Doubly-linked path storage and list ranking (Lemma 2.4)."""
+
+from .dllist import PathCollection
+from .ranking import (
+    anderson_miller_prefix_sums,
+    prefix_sums_on_lists,
+    sequential_prefix_sums,
+    wyllie_prefix_sums,
+)
+
+__all__ = [
+    "PathCollection",
+    "anderson_miller_prefix_sums",
+    "prefix_sums_on_lists",
+    "sequential_prefix_sums",
+    "wyllie_prefix_sums",
+]

@@ -1,0 +1,13 @@
+"""Maximal matching / MIS subroutines (Lemma 2.5, Appendix C)."""
+
+from .luby import maximal_matching, luby_mis, is_maximal_matching, is_mis
+from .coloring import cole_vishkin_3color, path_mis_deterministic
+
+__all__ = [
+    "maximal_matching",
+    "luby_mis",
+    "is_maximal_matching",
+    "is_mis",
+    "cole_vishkin_3color",
+    "path_mis_deterministic",
+]

@@ -1,0 +1,165 @@
+"""Cole–Vishkin deterministic coloring and MIS on linked lists (Appendix C).
+
+The deterministic variant of the paper (Lemma C.1, item D1) replaces the
+random-coin compress step of the rake-and-compress tree with the classic
+Cole–Vishkin [CV86] deterministic-coin-tossing technique: 3-color the path in
+``O(log* n)`` synchronous rounds, then extract a large independent set from
+the color classes. We implement:
+
+* :func:`cole_vishkin_3color` — iterated bit-difference recoloring down to
+  6 colors, then three shift-down rounds to reach 3 colors;
+* :func:`path_mis_deterministic` — MIS on a union of paths via the coloring
+  (color classes committed in order). The MIS on a path always contains at
+  least ⌈interior/3⌉ of the vertices, the constant-fraction guarantee D1
+  needs.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..pram.tracker import Tracker
+
+__all__ = ["cole_vishkin_3color", "path_mis_deterministic"]
+
+
+def _bit_diff_color(cv: int, cp: int) -> int:
+    """New color: 2k + b where k is the lowest differing bit index, b its value in cv."""
+    diff = cv ^ cp
+    k = (diff & -diff).bit_length() - 1
+    b = (cv >> k) & 1
+    return 2 * k + b
+
+
+def cole_vishkin_3color(
+    t: Tracker,
+    vertices: Sequence[int],
+    prev_of: Mapping[int, int | None],
+) -> dict[int, int]:
+    """Deterministic 3-coloring of a union of disjoint paths.
+
+    ``prev_of[v]`` is v's predecessor (None at path heads); predecessors not
+    in ``vertices`` are treated as absent. Colors are in {0, 1, 2} and
+    adjacent vertices on a path always receive different colors. Runs in
+    ``O(log* n)`` recoloring rounds plus 3 shift-down rounds.
+    """
+    vset = set(vertices)
+    prv: dict[int, int | None] = {}
+    nxt: dict[int, int | None] = {v: None for v in vertices}
+    color: dict[int, int] = {}
+
+    def init(v: int) -> None:
+        t.op(1)
+        p = prev_of.get(v)
+        prv[v] = p if (p is not None and p in vset) else None
+        color[v] = v
+
+    t.parallel_for(vertices, init)
+
+    def link(v: int) -> None:
+        t.op(1)
+        p = prv[v]
+        if p is not None:
+            nxt[p] = v
+
+    t.parallel_for(vertices, link)
+
+    # --- iterated Cole–Vishkin until the palette is <= 6 colors.
+    # Heads have no predecessor; they recolor against a fixed sentinel color
+    # different from their own (flip of their low bit), which preserves the
+    # proper-coloring invariant.
+    max_color = max(vertices) if vertices else 0
+    guard = 0
+    while max_color >= 6:
+        guard += 1
+        if guard > 64:
+            raise RuntimeError("cole-vishkin failed to converge (bug)")
+        new_color: dict[int, int] = {}
+
+        def recolor(v: int) -> None:
+            t.op(1)
+            cv = color[v]
+            p = prv[v]
+            cp = color[p] if p is not None else cv ^ 1
+            new_color[v] = _bit_diff_color(cv, cp)
+
+        t.parallel_for(vertices, recolor)
+        color = new_color
+        max_color = max(color.values()) if vertices else 0
+
+    # --- shift-down 6 -> 3: for c in (5, 4, 3), every vertex of color c
+    # recolors to the smallest color not used by its two neighbors (which
+    # both have colors < 6 and != c after prior rounds).
+    for c in (5, 4, 3):
+        targets = [v for v in vertices if color[v] == c]
+        t.charge(len(vertices), 1)
+        new_vals: dict[int, int] = {}
+
+        def fix(v: int, c: int = c) -> None:
+            t.op(1)
+            taken = set()
+            p = prv[v]
+            if p is not None:
+                taken.add(color[p])
+            w = nxt[v]
+            if w is not None:
+                taken.add(color[w])
+            for cand in (0, 1, 2):
+                if cand not in taken:
+                    new_vals[v] = cand
+                    return
+
+        t.parallel_for(targets, fix)
+        for v, val in new_vals.items():
+            color[v] = val
+        t.charge(len(new_vals), 1)
+
+    return color
+
+
+def path_mis_deterministic(
+    t: Tracker,
+    vertices: Sequence[int],
+    prev_of: Mapping[int, int | None],
+) -> set[int]:
+    """Deterministic MIS on a union of paths via 3-coloring (D1).
+
+    Commits color classes 0, 1, 2 in order: a vertex joins if none of its
+    path neighbors has joined. Three O(1)-span rounds after the coloring.
+    """
+    color = cole_vishkin_3color(t, vertices, prev_of)
+    vset = set(vertices)
+    prv: dict[int, int | None] = {}
+    nxt: dict[int, int | None] = {v: None for v in vertices}
+
+    def init(v: int) -> None:
+        t.op(1)
+        p = prev_of.get(v)
+        prv[v] = p if (p is not None and p in vset) else None
+
+    t.parallel_for(vertices, init)
+
+    def link(v: int) -> None:
+        t.op(1)
+        p = prv[v]
+        if p is not None:
+            nxt[p] = v
+
+    t.parallel_for(vertices, link)
+
+    chosen: set[int] = set()
+    for c in (0, 1, 2):
+        adds: list[int] = []
+
+        def try_add(v: int, c: int = c) -> None:
+            t.op(1)
+            if color[v] != c:
+                return
+            p, w = prv[v], nxt[v]
+            if (p is None or p not in chosen) and (w is None or w not in chosen):
+                adds.append(v)
+
+        t.parallel_for(vertices, try_add)
+        chosen.update(adds)
+        t.charge(len(adds), 1)
+    return chosen

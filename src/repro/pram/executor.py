@@ -1,0 +1,48 @@
+"""Optional real-concurrency executor for demonstrations.
+
+The measurement instrument for this reproduction is the work-span
+:class:`~repro.pram.tracker.Tracker` (see DESIGN.md section 2): CPython's GIL
+prevents genuine PRAM-style shared-memory speedups, so wall-clock scaling
+across threads is *not* how we validate the paper's bounds.
+
+This module exists to demonstrate that the embarrassingly parallel phases of
+the algorithms (the bodies handed to ``parallel_for``) really are independent
+and can run concurrently, and to let the wall-clock benchmark (E14) report
+thread-pool numbers for the curious.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+__all__ = ["run_parallel", "default_workers"]
+
+
+def default_workers() -> int:
+    """A sensible default worker count for demo runs."""
+    return min(8, os.cpu_count() or 1)
+
+
+def run_parallel(
+    items: Sequence[T],
+    fn: Callable[[T], R],
+    workers: int | None = None,
+) -> list[R]:
+    """Apply ``fn`` to each item using a thread pool, preserving order.
+
+    Falls back to a plain loop for tiny inputs where pool overhead
+    dominates.
+    """
+    n = len(items)
+    if n == 0:
+        return []
+    w = workers if workers is not None else default_workers()
+    if w <= 1 or n < 4:
+        return [fn(it) for it in items]
+    with ThreadPoolExecutor(max_workers=w) as pool:
+        return list(pool.map(fn, items))

@@ -1,0 +1,24 @@
+"""Batch-dynamic data structures (Lemmas 4.5, 5.1, 6.1, 6.2, B.1)."""
+
+from .tournament import TournamentTree
+from .adjacency_query import ActiveNeighborStructure
+from .euler_tour import EulerTourForest
+from .hdt import HDTConnectivity, ForestChange
+from .link_cut import LinkCutForest
+from .rc_tree import RCForest
+from .absorb_ds import AbsorptionStructure
+from .edge_dictionary import EdgeDictionary
+from .naive_active import NaiveActiveNeighborStructure
+
+__all__ = [
+    "TournamentTree",
+    "ActiveNeighborStructure",
+    "EulerTourForest",
+    "HDTConnectivity",
+    "ForestChange",
+    "LinkCutForest",
+    "RCForest",
+    "AbsorptionStructure",
+    "EdgeDictionary",
+    "NaiveActiveNeighborStructure",
+]

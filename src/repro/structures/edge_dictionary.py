@@ -1,0 +1,125 @@
+"""Deterministic batch edge dictionary (Appendix C, item D3).
+
+The connectivity structure of [AABD19] stores the graph's edges in
+randomized parallel dictionaries (R3). Appendix C replaces them with "an
+analog of the data structure developed in Lemma B.1 to store all potential
+edges in the graph": the universe of *potential* edges is fixed (the edges
+of the original input G), so a static balanced tree over that universe with
+active flags supports k insertions, k deletions and k lookups in
+``O(k log n)`` work and ``O(log n)`` depth — deterministically.
+
+This module is that analog, layered directly on
+:class:`~repro.structures.tournament.TournamentTree`: membership = the
+active flag, plus per-edge payload slots. It is what a fully deterministic
+build of the HDT layer would use in place of hash sets; the randomized
+track keeps Python sets (whose costs the tracker charges equivalently).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Sequence
+
+from ..graph.graph import Graph
+from ..pram.tracker import Tracker
+from .tournament import TournamentTree
+
+__all__ = ["EdgeDictionary"]
+
+
+class EdgeDictionary:
+    """Presence + payload over a fixed universe of edges.
+
+    All batch operations are ``O(k log |U|)`` work and ``O(log |U|)`` depth
+    with no randomness (Lemma B.1 bounds).
+    """
+
+    def __init__(
+        self,
+        universe: Sequence[tuple[int, int]] | Graph,
+        tracker: Tracker | None = None,
+        initially_present: bool = False,
+    ) -> None:
+        self.t = tracker if tracker is not None else Tracker()
+        edges = universe.edges if isinstance(universe, Graph) else list(universe)
+        self._keys = [
+            (u, v) if u < v else (v, u) for u, v in edges
+        ]
+        if len(set(self._keys)) != len(self._keys):
+            raise ValueError("universe contains duplicate edges")
+        self._index = {k: i for i, k in enumerate(self._keys)}
+        self._tree = TournamentTree(self._keys, tracker=self.t)
+        self._payload: list[Hashable | None] = [None] * len(self._keys)
+        if not initially_present:
+            if self._keys:
+                self._tree.make_inactive(list(range(len(self._keys))))
+
+    # ------------------------------------------------------------------
+    def _ids(self, edges: Iterable[tuple[int, int]]) -> list[int]:
+        out = []
+        for u, v in edges:
+            key = (u, v) if u < v else (v, u)
+            idx = self._index.get(key)
+            if idx is None:
+                raise KeyError(f"edge {key} is not in the fixed universe")
+            out.append(idx)
+        return out
+
+    # ------------------------------------------------------------------
+    def insert(
+        self,
+        edges: Sequence[tuple[int, int]],
+        payloads: Sequence[Hashable] | None = None,
+    ) -> None:
+        """Batch-insert edges of the universe (k log n / log n)."""
+        ids = self._ids(edges)
+        for i, idx in enumerate(ids):
+            self.t.op(1)
+            if self._tree.is_active(idx):
+                raise KeyError(f"edge {self._keys[idx]} already present")
+            if payloads is not None:
+                self._payload[idx] = payloads[i]
+        self._tree.make_active(ids)
+
+    def delete(self, edges: Sequence[tuple[int, int]]) -> None:
+        """Batch-delete present edges."""
+        ids = self._ids(edges)
+        for idx in ids:
+            self.t.op(1)
+            if not self._tree.is_active(idx):
+                raise KeyError(f"edge {self._keys[idx]} not present")
+            self._payload[idx] = None
+        self._tree.make_inactive(ids)
+
+    def lookup(self, edges: Sequence[tuple[int, int]]) -> list[bool]:
+        """Batch membership test."""
+        ids = self._ids(edges)
+
+        def probe(idx: int) -> bool:
+            self.t.op(1)
+            return self._tree.is_active(idx)
+
+        return self.t.parallel_for(ids, probe)
+
+    def get_payload(self, u: int, v: int) -> Hashable | None:
+        [idx] = self._ids([(u, v)])
+        self.t.op(1)
+        if not self._tree.is_active(idx):
+            raise KeyError(f"edge ({u}, {v}) not present")
+        return self._payload[idx]
+
+    # ------------------------------------------------------------------
+    def __contains__(self, edge: tuple[int, int]) -> bool:
+        u, v = edge
+        key = (u, v) if u < v else (v, u)
+        idx = self._index.get(key)
+        return idx is not None and self._tree.is_active(idx)
+
+    def __len__(self) -> int:
+        return self._tree.n_active
+
+    def sample(self, k: int) -> list[tuple[int, int]]:
+        """Any k present edges (Lemma B.1 Query): O(k log n) / O(log n)."""
+        return self._tree.query(k)
+
+    def present_edges(self) -> list[tuple[int, int]]:
+        return self._tree.active_elements()

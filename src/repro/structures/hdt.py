@@ -1,0 +1,429 @@
+"""Batch-dynamic connectivity: parallelized Holm–de Lichtenberg–Thorup
+(Lemma 6.1).
+
+Maintains a maximal spanning forest of a graph undergoing vertex and edge
+deletions. This is the structure behind ``BatchDelete`` in the absorption
+phase (Section 5): when a separator path is absorbed into the partial DFS
+tree, all its vertices (and their edges) leave ``G - T'`` and the forest
+must find replacement edges for every severed tree edge.
+
+Level scheme (standard HDT [HDLT01]):
+
+* every live edge has a level ``l(e) in [0, L]`` with ``L = ceil(log2 n)``;
+* ``F_i`` is the forest of tree edges with level >= i, stored as an Euler
+  tour forest per level; ``F_0`` is *the* spanning forest;
+* invariant: every component of ``F_i`` has at most ``n / 2^i`` vertices;
+* invariant: the endpoints of any level-i edge are connected in ``F_i``.
+
+Deleting a tree edge of level ``l`` searches for a replacement at levels
+``l, l-1, ..., 0``: the smaller side's level-i tree edges are promoted to
+``i+1`` (halving guarantees the invariant), then its level-i non-tree edges
+are scanned — an edge leading outside reconnects the forest and stops the
+search; an internal edge is promoted. Every promotion is paid for by the
+edge's own O(log n) level budget, giving **amortized O(log² n) work per
+deletion** — exactly the bound of Lemma 6.1, validated empirically in E6.
+
+Batching: non-tree deletions and replacement searches in *different
+components* of ``F_0`` proceed as parallel branches (the span the tracker
+reports is their max). Tree deletions inside one component are processed
+sequentially; the fully parallel intra-component search of [AABD19] is
+substituted per DESIGN.md §2 (R2/D2) — the amortized-work bound, which is
+what Theorem 1.1's work efficiency rests on, is unaffected.
+
+``batch_delete`` returns the level-0 forest changes (cuts and replacement
+links) so that a mirror structure — the rake-and-compress tree of
+Section 6.2 — can apply them as its own batch update.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..graph.graph import Graph
+from ..graph.connectivity import spanning_forest
+from ..pram.tracker import Tracker
+from .euler_tour import EulerTourForest
+
+__all__ = ["HDTConnectivity", "ForestChange"]
+
+
+class ForestChange:
+    """A level-0 spanning-forest change emitted by ``batch_delete``."""
+
+    __slots__ = ("kind", "u", "v")
+
+    def __init__(self, kind: str, u: int, v: int) -> None:
+        self.kind = kind  # "cut" or "link"
+        self.u = u
+        self.v = v
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ForestChange({self.kind}, {self.u}, {self.v})"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, ForestChange)
+            and (self.kind, self.u, self.v) == (other.kind, other.u, other.v)
+        )
+
+
+class HDTConnectivity:
+    """HDT dynamic connectivity over an initial :class:`Graph`."""
+
+    def __init__(self, g: Graph, tracker: Tracker | None = None) -> None:
+        self.t = tracker if tracker is not None else Tracker()
+        self.n = g.n
+        self.L = max(1, (max(2, g.n) - 1).bit_length())
+        #: endpoints per edge id (ids beyond the initial graph come from
+        #: insert_edge)
+        self.endpoints: list[tuple[int, int]] = list(g.edges)
+        self.alive: list[bool] = [True] * g.m
+        self.level: list[int] = [0] * g.m
+        self.is_tree: list[bool] = [False] * g.m
+        #: one Euler tour forest per level (+1 slack for promotions at L)
+        self.ett: list[EulerTourForest] = [
+            EulerTourForest(g.n, tracker=self.t) for _ in range(self.L + 2)
+        ]
+        #: per level, per vertex: ids of live non-tree edges of that level
+        self.nontree: list[list[set[int]]] = [
+            [set() for _ in range(g.n)] for _ in range(self.L + 2)
+        ]
+        #: live incident edge ids per vertex (for vertex deletion)
+        self.incident: list[set[int]] = [set() for _ in range(g.n)]
+        #: canonical (min,max) endpoint pair -> tree edge id, for arcs found
+        #: via the val2 aggregate
+        self._pair_to_eid: dict[tuple[int, int], int] = {}
+
+        t = self.t
+        _, forest = spanning_forest(g, t)
+        in_forest = [False] * g.m
+        for eid in forest:
+            in_forest[eid] = True
+        t.charge(g.m, 1)
+
+        def install(eid: int) -> None:
+            t.op(1)
+            u, v = self.endpoints[eid]
+            self.incident[u].add(eid)
+            self.incident[v].add(eid)
+            self._pair_to_eid[(u, v)] = eid
+            if in_forest[eid]:
+                self.is_tree[eid] = True
+                self.ett[0].link(u, v)
+                self.ett[0].set_arc_val2(u, v, 1)
+            else:
+                self.nontree[0][u].add(eid)
+                self.nontree[0][v].add(eid)
+
+        t.parallel_for(range(g.m), install)
+
+        def set_counts(v: int) -> None:
+            t.op(1)
+            k = len(self.nontree[0][v])
+            if k:
+                self.ett[0].set_vertex_val1(v, k)
+
+        t.parallel_for(range(g.n), set_counts)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def connected(self, u: int, v: int) -> bool:
+        return self.ett[0].connected(u, v)
+
+    def component_size(self, v: int) -> int:
+        return self.ett[0].component_size(v)
+
+    def component_rep(self, v: int) -> int:
+        return self.ett[0].component_rep(v)
+
+    def spanning_forest_edges(self) -> list[tuple[int, int]]:
+        """Current level-0 forest edges as (u, v) pairs (test support)."""
+        return [
+            pair for pair in self.ett[0].arcs if pair[0] < pair[1]
+        ]
+
+    def edge_alive(self, eid: int) -> bool:
+        return self.alive[eid]
+
+    # ------------------------------------------------------------------
+    # insertion (initialization path + generality for tests/demos)
+    # ------------------------------------------------------------------
+    def insert_edge(self, u: int, v: int) -> int:
+        """Insert a new edge; returns its id. O(log n) amortized."""
+        if u == v:
+            raise ValueError("self-loop")
+        t = self.t
+        eid = len(self.endpoints)
+        key = (u, v) if u < v else (v, u)
+        self.endpoints.append(key)
+        self.alive.append(True)
+        self.level.append(0)
+        self.is_tree.append(False)
+        self.incident[u].add(eid)
+        self.incident[v].add(eid)
+        t.op(1)
+        a, b = key
+        if not self.ett[0].connected(a, b):
+            self.is_tree[eid] = True
+            self._pair_to_eid[key] = eid
+            self.ett[0].link(a, b)
+            self.ett[0].set_arc_val2(a, b, 1)
+        else:
+            self.nontree[0][a].add(eid)
+            self.nontree[0][b].add(eid)
+            self.ett[0].add_vertex_val1(a, 1)
+            self.ett[0].add_vertex_val1(b, 1)
+        return eid
+
+    def batch_insert(self, pairs: Sequence[tuple[int, int]]) -> list[int]:
+        """Insert a batch of edges; returns their ids.
+
+        The batch-parallel classification of [AABD19]: gather the component
+        representative of every endpoint, compute a spanning forest of the
+        *component graph* induced by the new edges (our parallel algorithm
+        from footnote 4), link exactly those edges as tree edges, and file
+        the rest as level-0 non-tree edges. O(k log n)-ish work, polylog
+        span per batch.
+        """
+        t = self.t
+        if not pairs:
+            return []
+        reps = t.parallel_for(
+            list(pairs),
+            lambda uv: (
+                self.ett[0].component_rep(uv[0]),
+                self.ett[0].component_rep(uv[1]),
+            ),
+        )
+        rep_ids: dict[int, int] = {}
+        mini_edges: list[tuple[int, int]] = []
+        cross: list[int] = []  # indices of pairs bridging components
+        for i, (ru, rv) in enumerate(reps):
+            t.op(1)
+            if ru == rv:
+                continue
+            a = rep_ids.setdefault(ru, len(rep_ids))
+            b = rep_ids.setdefault(rv, len(rep_ids))
+            mini_edges.append((a, b) if a < b else (b, a))
+            cross.append(i)
+        tree_pair_indices: set[int] = set()
+        if mini_edges:
+            mini = Graph(len(rep_ids), mini_edges, allow_multi=True)
+            # map mini edge ids back to pair indices (dedup keeps firsts)
+            key_to_pair: dict[tuple[int, int], int] = {}
+            for idx, key in zip(cross, mini_edges):
+                t.op(1)
+                key_to_pair.setdefault(key, idx)
+            _, forest = spanning_forest(mini, t)
+            for meid in forest:
+                tree_pair_indices.add(key_to_pair[mini.edges[meid]])
+
+        eids: list[int] = []
+        # tree links first (restores the level-0 connectivity invariant for
+        # the remaining, now intra-component, non-tree edges)
+        for i, (u, v) in enumerate(pairs):
+            t.op(1)
+            if u == v:
+                raise ValueError("self-loop")
+            eid = len(self.endpoints)
+            key = (u, v) if u < v else (v, u)
+            self.endpoints.append(key)
+            self.alive.append(True)
+            self.level.append(0)
+            self.is_tree.append(False)
+            self.incident[u].add(eid)
+            self.incident[v].add(eid)
+            eids.append(eid)
+            if i in tree_pair_indices:
+                self.is_tree[eid] = True
+                self._pair_to_eid[key] = eid
+                self.ett[0].link(key[0], key[1])
+                self.ett[0].set_arc_val2(key[0], key[1], 1)
+
+        def file_nontree(i_eid: tuple[int, int]) -> None:
+            i, eid = i_eid
+            t.op(1)
+            if self.is_tree[eid]:
+                return
+            a, b = self.endpoints[eid]
+            self.nontree[0][a].add(eid)
+            self.nontree[0][b].add(eid)
+            self.ett[0].add_vertex_val1(a, 1)
+            self.ett[0].add_vertex_val1(b, 1)
+
+        t.parallel_for(list(enumerate(eids)), file_nontree)
+        return eids
+
+    # ------------------------------------------------------------------
+    # deletion
+    # ------------------------------------------------------------------
+    def delete_edge(self, eid: int) -> list[ForestChange]:
+        return self.batch_delete([eid])
+
+    def delete_vertex(self, v: int) -> list[ForestChange]:
+        """Delete all edges incident to v (the paper's vertex deletion)."""
+        return self.batch_delete(sorted(self.incident[v]))
+
+    def batch_delete(self, eids: Sequence[int]) -> list[ForestChange]:
+        """Delete a batch of edges; returns the level-0 forest changes."""
+        t = self.t
+        changes: list[ForestChange] = []
+        tree_eids: list[int] = []
+
+        def classify(eid: int) -> None:
+            t.op(1)
+            if not self.alive[eid]:
+                raise ValueError(f"edge {eid} already deleted")
+            self.alive[eid] = False
+            u, v = self.endpoints[eid]
+            self.incident[u].discard(eid)
+            self.incident[v].discard(eid)
+            if self.is_tree[eid]:
+                tree_eids.append(eid)
+            else:
+                l = self.level[eid]
+                self.nontree[l][u].discard(eid)
+                self.nontree[l][v].discard(eid)
+                self.ett[l].add_vertex_val1(u, -1)
+                self.ett[l].add_vertex_val1(v, -1)
+
+        t.parallel_for(list(eids), classify)
+
+        if not tree_eids:
+            return changes
+
+        # group tree deletions by their (stable) F_0 component representative;
+        # groups touch disjoint trees, so they are parallel branches.
+        groups: dict[int, list[int]] = {}
+
+        def group(eid: int) -> None:
+            t.op(1)
+            rep = self.ett[0].component_rep(self.endpoints[eid][0])
+            groups.setdefault(rep, []).append(eid)
+
+        t.parallel_for(tree_eids, group)
+
+        lg = (max(2, self.n) - 1).bit_length() + 1
+
+        def handle_group(rep: int) -> list[ForestChange]:
+            # The intra-group replacement search runs sequentially in this
+            # simulation; [AABD19] processes the whole batch in O(log^3 n)
+            # depth (Lemma 6.1; Lemma 5.1 states O(log^2 n) for BatchDelete).
+            # Work below is fully measured; span is charged as the cited
+            # batch bound (DESIGN.md §2, R2/D2 substitution).
+            local: list[ForestChange] = []
+            with t.primitive(lg * lg):
+                for eid in groups[rep]:
+                    local.extend(self._delete_tree_edge(eid))
+            return local
+
+        results = t.parallel_for(sorted(groups), handle_group)
+        for local in results:
+            changes.extend(local)
+        return changes
+
+    # ------------------------------------------------------------------
+    def _delete_tree_edge(self, eid: int) -> list[ForestChange]:
+        t = self.t
+        u, v = self.endpoints[eid]
+        l = self.level[eid]
+        self.is_tree[eid] = False
+        del self._pair_to_eid[(u, v)]
+        changes = [ForestChange("cut", u, v)]
+        # remove from every forest that contains it
+        for i in range(l + 1):
+            t.op(1)
+            self.ett[i].cut(u, v)
+
+        # search for a replacement from the edge's level downward
+        for i in range(l, -1, -1):
+            su = self.ett[i].component_size(u)
+            sv = self.ett[i].component_size(v)
+            t.op(1)
+            small = u if su <= sv else v
+
+            # 1) promote all level-i tree edges of the small side to i+1
+            while True:
+                arc = self.ett[i].find_arc_with_val2(small)
+                if arc is None:
+                    break
+                a, b = arc
+                key = (a, b) if a < b else (b, a)
+                f = self._pair_to_eid[key]
+                t.op(1)
+                self.level[f] = i + 1
+                self.ett[i].set_arc_val2(a, b, 0)
+                self.ett[i + 1].link(key[0], key[1])
+                self.ett[i + 1].set_arc_val2(key[0], key[1], 1)
+
+            # 2) scan level-i non-tree edges on the small side
+            replacement = None
+            while replacement is None:
+                x = self.ett[i].find_vertex_with_val1(small)
+                if x is None:
+                    break
+                f = next(iter(self.nontree[i][x]))
+                a, b = self.endpoints[f]
+                y = b if a == x else a
+                t.op(1)
+                # remove f from level i bookkeeping either way
+                self.nontree[i][a].discard(f)
+                self.nontree[i][b].discard(f)
+                self.ett[i].add_vertex_val1(a, -1)
+                self.ett[i].add_vertex_val1(b, -1)
+                if self.ett[i].connected(x, y):
+                    # internal to the small side: promote to level i+1
+                    self.level[f] = i + 1
+                    self.nontree[i + 1][a].add(f)
+                    self.nontree[i + 1][b].add(f)
+                    self.ett[i + 1].add_vertex_val1(a, 1)
+                    self.ett[i + 1].add_vertex_val1(b, 1)
+                else:
+                    replacement = f
+
+            if replacement is not None:
+                a, b = self.endpoints[replacement]
+                t.op(1)
+                self.is_tree[replacement] = True
+                self.level[replacement] = i
+                self._pair_to_eid[(a, b)] = replacement
+                for j in range(i + 1):
+                    self.ett[j].link(a, b)
+                self.ett[i].set_arc_val2(a, b, 1)
+                changes.append(ForestChange("link", a, b))
+                return changes
+
+        return changes
+
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Validate the HDT level invariants (test support; O(n m))."""
+        n = self.n
+        for eid, (u, v) in enumerate(self.endpoints):
+            if not self.alive[eid]:
+                continue
+            l = self.level[eid]
+            assert 0 <= l <= self.L + 1
+            if self.is_tree[eid]:
+                for i in range(l + 1):
+                    assert self.ett[i].has_edge(u, v) or self.ett[i].has_edge(
+                        v, u
+                    ), f"tree edge {eid} missing from level {i}"
+            else:
+                assert eid in self.nontree[l][u]
+                assert eid in self.nontree[l][v]
+                assert self.ett[l].connected(u, v), (
+                    f"non-tree edge {eid} endpoints not connected at level {l}"
+                )
+        # component size invariant
+        for i in range(self.L + 2):
+            seen: set[int] = set()
+            for v in range(n):
+                if v in seen:
+                    continue
+                comp = self.ett[i].component_vertices(v)
+                seen.update(comp)
+                assert len(comp) <= max(1, -(-n // (1 << i)) if i else n), (
+                    f"level {i} component of size {len(comp)} exceeds n/2^i"
+                )

@@ -1,0 +1,152 @@
+"""Active-set tournament tree (Lemma B.1).
+
+A static perfectly balanced binary tree over an array of ``N`` elements.
+Each leaf carries an *active* flag; every internal node stores the number of
+active leaves in its subtree. Supported operations, with the bounds of
+Lemma B.1:
+
+* ``make_inactive(indices)`` — ``O(k log N)`` work, ``O(log N)`` span;
+* ``query(t)`` — return ``min(t, N_active)`` distinct active elements,
+  ``O(t log N)`` work, ``O(log N)`` span;
+* initialization — ``O(N)`` work (the paper allows ``O(N log N)``),
+  ``O(log N)`` span.
+
+``make_active`` (reactivation) is also provided: the deterministic appendix
+(D3) uses this structure as a dictionary substitute where erased entries can
+reappear; the bound is symmetric to ``make_inactive``.
+
+The tree is stored as an implicit array segment tree: node ``i`` has
+children ``2i`` and ``2i+1``; leaves occupy ``[size, size + N)``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, TypeVar
+
+from ..pram.tracker import Tracker
+
+T = TypeVar("T")
+
+__all__ = ["TournamentTree"]
+
+
+class TournamentTree:
+    """Balanced binary tree over an element array with active-counts."""
+
+    __slots__ = ("elements", "n", "_size", "_count", "_active", "tracker")
+
+    def __init__(self, elements: Sequence[T], tracker: Tracker | None = None) -> None:
+        self.elements = list(elements)
+        self.n = len(self.elements)
+        self.tracker = tracker if tracker is not None else Tracker()
+        size = 1
+        while size < max(1, self.n):
+            size *= 2
+        self._size = size
+        # active leaf flags and subtree counts (implicit heap layout)
+        self._active = [True] * self.n
+        self._count = [0] * (2 * size)
+        t = self.tracker
+        # build counts bottom-up: O(N) work, O(log N) span (level-parallel)
+        for i in range(self.n):
+            self._count[size + i] = 1
+        t.charge(self.n, 1)
+        level_start = size // 2
+        while level_start >= 1:
+            def build(i: int) -> None:
+                t.op(1)
+                self._count[i] = self._count[2 * i] + self._count[2 * i + 1]
+
+            t.parallel_for(range(level_start, 2 * level_start), build)
+            level_start //= 2
+
+    # ------------------------------------------------------------------
+    @property
+    def n_active(self) -> int:
+        return self._count[1] if self.n else 0
+
+    def is_active(self, i: int) -> bool:
+        return self._active[i]
+
+    # ------------------------------------------------------------------
+    def _set_leaves(self, indices: Sequence[int], value: bool) -> None:
+        t = self.tracker
+        if not indices:
+            return
+        touched: set[int] = set()
+
+        def set_leaf(i: int) -> None:
+            t.op(1)
+            if not (0 <= i < self.n):
+                raise IndexError(f"index {i} out of range")
+            if self._active[i] == value:
+                return
+            self._active[i] = value
+            self._count[self._size + i] = 1 if value else 0
+            touched.add((self._size + i) // 2)
+
+        t.parallel_for(indices, set_leaf)
+
+        # propagate changed counts up one level at a time: each level is a
+        # parallel_for over the distinct touched ancestors
+        frontier = touched
+        while frontier:
+            nxt: set[int] = set()
+
+            def refresh(node: int) -> None:
+                t.op(1)
+                self._count[node] = (
+                    self._count[2 * node] + self._count[2 * node + 1]
+                )
+                if node > 1:
+                    nxt.add(node // 2)
+
+            t.parallel_for(sorted(frontier), refresh)
+            frontier = nxt
+
+    def make_inactive(self, indices: Sequence[int]) -> None:
+        """Mark the given element indices inactive. O(k log N) / O(log N)."""
+        self._set_leaves(indices, False)
+
+    def make_active(self, indices: Sequence[int]) -> None:
+        """Re-activate the given element indices. O(k log N) / O(log N)."""
+        self._set_leaves(indices, True)
+
+    # ------------------------------------------------------------------
+    def query(self, t_count: int) -> list[T]:
+        """Return ``min(t_count, n_active)`` distinct active elements.
+
+        O(t log N) work, O(log N) span: the recursion forks into both
+        children whenever both sides must contribute.
+        """
+        t = self.tracker
+        if t_count < 0:
+            raise ValueError("t must be >= 0")
+        want = min(t_count, self.n_active)
+        if want == 0:
+            t.op(1)
+            return []
+        out: list[T] = []
+
+        def collect(node: int, k: int) -> list[T]:
+            t.op(1)
+            if node >= self._size:
+                return [self.elements[node - self._size]]
+            left, right = 2 * node, 2 * node + 1
+            kl = min(self._count[left], k)
+            kr = k - kl
+            if kl and kr:
+                parts = t.parallel(
+                    lambda: collect(left, kl), lambda: collect(right, kr)
+                )
+                return parts[0] + parts[1]
+            if kl:
+                return collect(left, kl)
+            return collect(right, kr)
+
+        out = collect(1, want)
+        return out
+
+    def active_elements(self) -> list[T]:
+        """All currently active elements (query with t = n_active)."""
+        return self.query(self.n_active)

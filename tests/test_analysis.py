@@ -1,0 +1,86 @@
+"""Tests for the analysis / experiment-harness utilities."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    Measurement,
+    format_table,
+    geometric_sizes,
+    loglog_slope,
+    polylog_normalized,
+    run_aa87_model,
+    run_gpv_dfs,
+    run_parallel_dfs,
+    run_sequential_dfs,
+    sweep,
+)
+from repro.graph import generators as G
+
+
+class TestLogLogSlope:
+    def test_linear(self):
+        xs = [10, 100, 1000]
+        assert abs(loglog_slope(xs, [3 * x for x in xs]) - 1.0) < 1e-9
+
+    def test_quadratic(self):
+        xs = [10, 100, 1000]
+        assert abs(loglog_slope(xs, [x * x for x in xs]) - 2.0) < 1e-9
+
+    def test_sqrt(self):
+        xs = [4, 16, 64, 256]
+        assert abs(loglog_slope(xs, [math.sqrt(x) for x in xs]) - 0.5) < 1e-9
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            loglog_slope([1], [1])
+
+    def test_constant_x_rejected(self):
+        with pytest.raises(ValueError):
+            loglog_slope([5, 5], [1, 2])
+
+
+class TestNormalization:
+    def test_exact_law_flat(self):
+        xs = [16.0, 256.0, 4096.0]
+        ys = [x**0.5 * math.log2(x) ** 3 for x in xs]
+        norm = polylog_normalized(xs, ys, 0.5, 3.0)
+        assert max(norm) - min(norm) < 1e-9
+
+    def test_geometric_sizes(self):
+        assert geometric_sizes(256, 2048) == [256, 512, 1024, 2048]
+        assert geometric_sizes(100, 150) == [100]
+        assert geometric_sizes(10, 1000, ratio=4) == [10, 40, 160, 640]
+
+
+class TestMeasurement:
+    def test_derived_fields(self):
+        m = Measurement("x", n=100, m=300, work=4000, span=50)
+        assert m.work_per_edge == 10.0
+        assert m.span_per_sqrt_n == 5.0
+
+    def test_format_table(self):
+        out = format_table(["a", "bb"], [(1, 2.5), (30, 4.125)])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert "4.125" in lines[3]
+
+
+class TestRunners:
+    def test_all_runners_return_measurements(self):
+        g = G.gnm_random_connected_graph(50, 150, seed=0)
+        for run in (run_parallel_dfs, run_sequential_dfs, run_gpv_dfs, run_aa87_model):
+            m = run(g)
+            assert m.n == 50 and m.m == 150
+            assert m.work > 0 and m.span > 0
+
+    def test_sweep_averages_seeds(self):
+        ms = sweep("gnm", [64, 128], algorithm="sequential", seeds=(0, 1))
+        assert [m.n for m in ms] == [64, 128]
+        assert all(m.work > 0 for m in ms)
+
+    def test_sweep_unknown_algorithm(self):
+        with pytest.raises(KeyError):
+            sweep("gnm", [64], algorithm="nope")

@@ -1,0 +1,93 @@
+"""Tests for the comparator algorithms (sequential, GPV-style, AA87 model)."""
+
+import random
+
+import pytest
+
+from repro.baselines import (
+    aa87_cost_model,
+    gpv_dfs,
+    sequential_dfs,
+    sequential_dfs_randomized,
+)
+from repro.core.verify import is_valid_dfs_tree
+from repro.graph import Graph
+from repro.graph import generators as G
+from repro.pram import Tracker
+
+
+class TestSequentialDFS:
+    def test_path(self):
+        g = G.path_graph(5)
+        parent = sequential_dfs(g, 0)
+        assert parent == {0: None, 1: 0, 2: 1, 3: 2, 4: 3}
+
+    def test_work_linear(self):
+        g = G.gnm_random_connected_graph(500, 1500, seed=1)
+        t = Tracker()
+        sequential_dfs(g, 0, t)
+        assert t.work <= 4 * (g.n + 2 * g.m)
+        assert t.span == t.work  # one dependency chain
+
+    def test_component_only(self):
+        g = Graph(5, [(0, 1), (2, 3)])
+        assert set(sequential_dfs(g, 2)) == {2, 3}
+
+    def test_invalid_root(self):
+        with pytest.raises(ValueError):
+            sequential_dfs(Graph(2), 7)
+
+    def test_randomized_variant_differs_but_valid(self):
+        g = G.gnm_random_connected_graph(40, 120, seed=2)
+        trees = set()
+        for i in range(5):
+            p = sequential_dfs_randomized(g, 0, random.Random(i))
+            assert is_valid_dfs_tree(g, 0, p)
+            trees.add(tuple(sorted((v, pp) for v, pp in p.items() if pp is not None)))
+        assert len(trees) > 1  # different valid DFS trees
+
+
+class TestGPVStyle:
+    def test_produces_valid_tree(self):
+        g = G.grid_graph(8, 8)
+        res = gpv_dfs(g, 0, verify=True)
+        assert is_valid_dfs_tree(g, 0, res.parent)
+
+    def test_more_work_on_long_diameter(self):
+        g = G.grid_graph(32, 32)
+        from repro.core.dfs import parallel_dfs
+
+        t1, t2 = Tracker(), Tracker()
+        parallel_dfs(g, 0, tracker=t1)
+        gpv_dfs(g, 0, tracker=t2)
+        assert t2.work > t1.work  # the rescanning penalty
+
+    def test_deterministic_given_rng(self):
+        g = G.gnm_random_connected_graph(60, 180, seed=3)
+        a = gpv_dfs(g, 0, rng=random.Random(5)).parent
+        b = gpv_dfs(g, 0, rng=random.Random(5)).parent
+        assert a == b
+
+
+class TestAA87Model:
+    def test_cubic_work(self):
+        small = aa87_cost_model(100, 300)
+        big = aa87_cost_model(200, 600)
+        # doubling n multiplies the modeled work by ~8 (n^3)
+        assert 6 <= big.work / small.work <= 11
+
+    def test_polylog_depth(self):
+        c = aa87_cost_model(10**6, 4 * 10**6)
+        assert c.span < 10**6  # log^4 of a million is tiny vs n
+
+    def test_tiny_graph(self):
+        c = aa87_cost_model(1, 0)
+        assert c.work >= 1 and c.span >= 1
+
+    def test_dwarfs_measured_work(self):
+        g = G.gnm_random_connected_graph(256, 768, seed=4)
+        from repro.core.dfs import parallel_dfs
+
+        t = Tracker()
+        parallel_dfs(g, 0, tracker=t)
+        assert aa87_cost_model(g.n, g.m).work > 20 * t.work

@@ -1,0 +1,124 @@
+"""Tests for the biconnectivity application, cross-validated vs networkx."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.apps.biconnectivity import biconnectivity, low_link_sweep
+from repro.baselines.sequential import sequential_dfs
+from repro.graph import Graph
+from repro.graph import generators as G
+from repro.pram import Tracker
+
+
+def to_nx(g: Graph) -> nx.Graph:
+    h = nx.Graph()
+    h.add_nodes_from(range(g.n))
+    h.add_edges_from(g.edges)
+    return h
+
+
+def nx_truth(g: Graph, component_of: int):
+    h = to_nx(g)
+    comp = nx.node_connected_component(h, component_of)
+    sub = h.subgraph(comp)
+    arts = set(nx.articulation_points(sub))
+    bridges = {tuple(sorted(e)) for e in nx.bridges(sub)}
+    comps = {
+        frozenset(tuple(sorted(e)) for e in c)
+        for c in nx.biconnected_component_edges(sub)
+    }
+    return arts, bridges, comps
+
+
+def check_graph(g: Graph, root=0, seed=0):
+    res = biconnectivity(g, root, rng=random.Random(seed))
+    arts, bridges, comps = nx_truth(g, root)
+    assert res.articulation_points == arts
+    assert res.bridges == bridges
+    assert {frozenset(c) for c in res.components} == comps
+
+
+class TestAgainstNetworkx:
+    def test_path(self):
+        check_graph(G.path_graph(12))
+
+    def test_cycle_has_no_cuts(self):
+        check_graph(G.cycle_graph(9))
+
+    def test_star_center_is_cut(self):
+        g = G.star_graph(8)
+        res = biconnectivity(g, 0)
+        assert res.articulation_points == {0}
+        assert len(res.bridges) == 7
+
+    def test_barbell(self):
+        check_graph(G.barbell_graph(5, 4))
+
+    def test_lollipop(self):
+        check_graph(G.lollipop_graph(6, 8))
+
+    def test_grid_is_biconnected(self):
+        g = G.grid_graph(5, 5)
+        res = biconnectivity(g, 0)
+        assert res.articulation_points == set()
+        assert res.bridges == set()
+        assert len(res.components) == 1
+
+    def test_caterpillar(self):
+        check_graph(G.caterpillar_graph(8, 2))
+
+    def test_random_graphs(self):
+        rng = random.Random(3)
+        for trial in range(12):
+            n = rng.randrange(4, 50)
+            m = rng.randrange(n - 1, min(2 * n, n * (n - 1) // 2) + 1)
+            g = G.gnm_random_connected_graph(n, m, seed=trial)
+            check_graph(g, seed=trial)
+
+    def test_community_graph(self):
+        check_graph(G.two_level_community_graph(100, communities=5, seed=1))
+
+    def test_tree_every_internal_is_cut(self):
+        g = G.random_tree(30, seed=2)
+        res = biconnectivity(g, 0)
+        internal = {v for v in range(30) if g.degree(v) >= 2}
+        assert res.articulation_points == internal
+        assert len(res.bridges) == 29
+
+
+class TestSweepOverGivenTree:
+    def test_works_on_sequential_tree_too(self):
+        g = G.gnm_random_connected_graph(40, 100, seed=5)
+        parent = sequential_dfs(g, 0)
+        res = low_link_sweep(g, 0, parent)
+        arts, bridges, _ = nx_truth(g, 0)
+        assert res.articulation_points == arts
+        assert res.bridges == bridges
+
+    def test_root_with_one_child_not_cut(self):
+        g = G.path_graph(5)
+        parent = sequential_dfs(g, 0)
+        res = low_link_sweep(g, 0, parent)
+        assert 0 not in res.articulation_points
+
+    def test_cost_charged(self):
+        g = G.gnm_random_connected_graph(200, 600, seed=6)
+        t = Tracker()
+        parent = sequential_dfs(g, 0, Tracker())
+        t.reset()
+        low_link_sweep(g, 0, parent, t)
+        assert t.work > 0
+        # the sweep is linear work
+        assert t.work <= 20 * (g.n + g.m)
+
+
+class TestDisconnected:
+    def test_only_roots_component(self):
+        g = Graph(8, [(0, 1), (1, 2), (2, 0), (4, 5), (5, 6)])
+        res = biconnectivity(g, 0)
+        assert res.articulation_points == set()
+        assert len(res.components) == 1
+        res2 = biconnectivity(g, 4)
+        assert res2.articulation_points == {5}

@@ -1,0 +1,114 @@
+"""Tests for parallel connected components and spanning forest."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import Graph, connected_components, spanning_forest
+from repro.graph.connectivity import component_sizes, largest_component_size
+from repro.graph import generators as G
+from repro.pram import Tracker
+
+
+def labels_agree_with_oracle(g: Graph, labels: list[int]) -> bool:
+    comps = g.connected_components_seq()
+    for comp in comps:
+        # all members share one label, equal to the component minimum
+        want = min(comp)
+        if any(labels[v] != want for v in comp):
+            return False
+    return True
+
+
+class TestConnectedComponents:
+    def test_empty_graph(self):
+        assert connected_components(Graph(0)) == []
+
+    def test_isolated_vertices(self):
+        assert connected_components(Graph(3)) == [0, 1, 2]
+
+    def test_single_edge(self):
+        assert connected_components(Graph(2, [(0, 1)])) == [0, 0]
+
+    def test_path(self):
+        g = G.path_graph(50)
+        assert connected_components(g) == [0] * 50
+
+    def test_two_components(self):
+        g = Graph(6, [(0, 1), (1, 2), (3, 4), (4, 5)])
+        labels = connected_components(g)
+        assert labels[:3] == [0, 0, 0]
+        assert labels[3:] == [3, 3, 3]
+
+    def test_adversarial_label_order(self):
+        # descending chain — hooking must still converge in few rounds
+        n = 64
+        g = Graph(n, [(i, i + 1) for i in range(n - 1)]).relabeled(
+            list(reversed(range(n)))
+        )
+        assert labels_agree_with_oracle(g, connected_components(g))
+
+    def test_random_graphs_match_oracle(self):
+        rng = random.Random(9)
+        for _ in range(20):
+            n = rng.randrange(2, 60)
+            m = rng.randrange(0, min(80, n * (n - 1) // 2))
+            g = G.gnm_random_graph(n, m, seed=rng.randrange(1 << 30))
+            assert labels_agree_with_oracle(g, connected_components(g))
+
+    @given(st.integers(2, 40), st.integers(0, 60), st.integers(0, 10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_property_matches_oracle(self, n, m, seed):
+        m = min(m, n * (n - 1) // 2)
+        g = G.gnm_random_graph(n, m, seed=seed)
+        assert labels_agree_with_oracle(g, connected_components(g))
+
+    def test_work_near_linear(self):
+        g = G.gnm_random_connected_graph(512, 2048, seed=1)
+        t = Tracker()
+        connected_components(g, t)
+        logn = g.n.bit_length()
+        assert t.work <= 40 * (g.m + g.n) * logn
+        assert t.span <= 60 * logn * logn
+
+
+class TestSpanningForest:
+    def test_forest_spans_and_is_acyclic(self):
+        rng = random.Random(4)
+        for _ in range(15):
+            n = rng.randrange(2, 60)
+            m = rng.randrange(0, min(90, n * (n - 1) // 2))
+            g = G.gnm_random_graph(n, m, seed=rng.randrange(1 << 30))
+            labels, forest = spanning_forest(g)
+            comps = g.connected_components_seq()
+            # correct cardinality: n - #components edges
+            assert len(forest) == g.n - len(comps)
+            # acyclic + spanning: the forest alone reproduces the components
+            h = Graph(g.n, [g.edge_endpoints(e) for e in forest])
+            assert labels_agree_with_oracle(g, connected_components(h))
+
+    def test_forest_on_connected_graph_is_tree(self):
+        g = G.gnm_random_connected_graph(100, 300, seed=8)
+        _, forest = spanning_forest(g)
+        assert len(forest) == 99
+        h = Graph(g.n, [g.edge_endpoints(e) for e in forest])
+        assert h.is_connected()
+
+    def test_forest_edge_ids_unique(self):
+        g = G.gnm_random_connected_graph(80, 200, seed=3)
+        _, forest = spanning_forest(g)
+        assert len(set(forest)) == len(forest)
+
+
+class TestSizes:
+    def test_component_sizes(self):
+        labels = [0, 0, 0, 3, 3, 5]
+        assert component_sizes(labels) == {0: 3, 3: 2, 5: 1}
+
+    def test_largest_component(self):
+        g = Graph(7, [(0, 1), (1, 2), (2, 3), (4, 5)])
+        assert largest_component_size(g) == 4
+
+    def test_largest_component_empty(self):
+        assert largest_component_size(Graph(0)) == 0

@@ -1,0 +1,97 @@
+"""Tests for the numpy CSR graph view."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro import parallel_dfs
+from repro.baselines.sequential import sequential_dfs
+from repro.core.verify import is_valid_dfs_tree
+from repro.graph import Graph
+from repro.graph import generators as G
+from repro.graph.csr import CSRGraph
+
+
+class TestLayout:
+    def test_neighbors_match(self):
+        g = G.gnm_random_connected_graph(50, 120, seed=1)
+        c = CSRGraph(g)
+        for v in range(g.n):
+            assert sorted(c.neighbors(v).tolist()) == sorted(g.adj[v])
+
+    def test_degrees(self):
+        g = G.star_graph(10)
+        c = CSRGraph(g)
+        assert c.degree(0) == 9
+        assert c.degrees().tolist() == [9] + [1] * 9
+
+    def test_empty_graph(self):
+        c = CSRGraph(Graph(3))
+        assert c.degrees().tolist() == [0, 0, 0]
+        assert c.m == 0
+
+    def test_edge_arrays_canonical(self):
+        g = Graph(4, [(2, 1), (3, 0)])
+        c = CSRGraph(g)
+        assert (c.edge_u < c.edge_v).all()
+        assert c.edge_u.tolist() == [1, 0]
+
+
+class TestVectorizedOracle:
+    def test_agrees_with_reference_oracle_on_valid(self):
+        rng = random.Random(2)
+        for trial in range(15):
+            n = rng.randrange(2, 80)
+            m = rng.randrange(n - 1, min(3 * n, n * (n - 1) // 2) + 1)
+            g = G.gnm_random_connected_graph(n, m, seed=trial)
+            parent = sequential_dfs(g, 0)
+            assert CSRGraph(g).dfs_tree_valid(0, parent)
+
+    def test_rejects_bfs_cross_edges(self):
+        g = G.cycle_graph(6)
+        bfs = {0: None, 1: 0, 5: 0, 2: 1, 4: 5, 3: 2}
+        assert not CSRGraph(g).dfs_tree_valid(0, bfs)
+        assert not is_valid_dfs_tree(g, 0, bfs)
+
+    def test_rejects_non_spanning(self):
+        g = G.path_graph(4)
+        assert not CSRGraph(g).dfs_tree_valid(0, {0: None, 1: 0})
+
+    def test_rejects_missing_root(self):
+        g = G.path_graph(3)
+        assert not CSRGraph(g).dfs_tree_valid(0, {1: None, 2: 1})
+
+    def test_rejects_fake_tree_edge(self):
+        g = G.path_graph(4)
+        assert not CSRGraph(g).dfs_tree_valid(
+            0, {0: None, 1: 0, 2: 1, 3: 1}
+        )
+
+    def test_rejects_cycle_in_parent_map(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3), (1, 3)])
+        assert not CSRGraph(g).dfs_tree_valid(0, {0: None, 1: 0, 2: 3, 3: 2})
+
+    def test_component_restriction(self):
+        g = Graph(6, [(0, 1), (1, 2), (3, 4)])
+        parent = sequential_dfs(g, 0)
+        assert CSRGraph(g).dfs_tree_valid(0, parent)
+
+    def test_validates_parallel_dfs_at_scale(self):
+        g = G.gnm_random_connected_graph(1500, 4500, seed=3)
+        res = parallel_dfs(g, 0)
+        assert CSRGraph(g).dfs_tree_valid(0, res.parent)
+
+    def test_random_agreement_between_oracles(self):
+        # the two oracles must agree on mutated (possibly invalid) trees
+        rng = random.Random(5)
+        g = G.gnm_random_connected_graph(30, 80, seed=5)
+        c = CSRGraph(g)
+        for trial in range(20):
+            parent = dict(sequential_dfs(g, 0))
+            # mutate: repoint one non-root vertex at a random neighbor
+            v = rng.randrange(1, 30)
+            parent[v] = rng.choice(g.adj[v])
+            ref = is_valid_dfs_tree(g, 0, parent)
+            fast = c.dfs_tree_valid(0, parent)
+            assert ref == fast, f"oracles disagree on trial {trial}"

@@ -1,0 +1,104 @@
+"""Tests for edge classification and fundamental cycles."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.apps.cycles import classify_edges, fundamental_cycles
+from repro.graph import Graph
+from repro.graph import generators as G
+
+
+class TestClassification:
+    def test_tree_has_no_back_edges(self):
+        g = G.random_tree(30, seed=1)
+        cls = classify_edges(g, 0)
+        assert cls.back_edges == []
+        assert len(cls.tree_edges) == 29
+
+    def test_cycle_graph_one_back_edge(self):
+        g = G.cycle_graph(8)
+        cls = classify_edges(g, 0)
+        assert len(cls.back_edges) == 1
+        assert len(cls.tree_edges) == 7
+
+    def test_counts_match_cyclomatic_number(self):
+        rng = random.Random(2)
+        for trial in range(10):
+            n = rng.randrange(4, 40)
+            m = rng.randrange(n - 1, min(3 * n, n * (n - 1) // 2) + 1)
+            g = G.gnm_random_connected_graph(n, m, seed=trial)
+            cls = classify_edges(g, 0)
+            assert len(cls.back_edges) == g.m - (g.n - 1)
+            assert len(cls.tree_edges) == g.n - 1
+
+    def test_back_edges_are_ancestor_oriented(self):
+        g = G.gnm_random_connected_graph(30, 80, seed=3)
+        cls = classify_edges(g, 0)
+        from repro.core.verify import tree_depths
+
+        depth = tree_depths(cls.parent, 0)
+        for desc, anc in cls.back_edges:
+            assert depth[desc] > depth[anc]
+
+    def test_cross_edge_in_bogus_tree_rejected(self):
+        g = Graph(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+        bogus = {0: None, 1: 0, 2: 0, 3: 1}  # (2,3) becomes a cross edge
+        with pytest.raises(ValueError, match="cross edge"):
+            classify_edges(g, 0, parent=bogus)
+
+    def test_only_roots_component(self):
+        g = Graph(6, [(0, 1), (1, 2), (2, 0), (4, 5)])
+        cls = classify_edges(g, 0)
+        assert len(cls.tree_edges) == 2
+        assert len(cls.back_edges) == 1
+
+
+class TestFundamentalCycles:
+    def test_cycle_graph(self):
+        g = G.cycle_graph(6)
+        cycles = fundamental_cycles(g, 0)
+        assert len(cycles) == 1
+        assert sorted(cycles[0]) == list(range(6))
+
+    def test_cycles_are_real_cycles(self):
+        rng = random.Random(5)
+        for trial in range(8):
+            n = rng.randrange(4, 30)
+            m = rng.randrange(n, min(2 * n, n * (n - 1) // 2) + 1)
+            g = G.gnm_random_connected_graph(n, m, seed=100 + trial)
+            for cyc in fundamental_cycles(g, 0):
+                assert len(cyc) >= 3
+                for a, b in zip(cyc, cyc[1:]):
+                    assert g.has_edge(a, b)
+                assert g.has_edge(cyc[-1], cyc[0])  # the closing back edge
+                assert len(set(cyc)) == len(cyc)
+
+    def test_basis_dimension_matches_networkx(self):
+        g = G.gnm_random_connected_graph(40, 90, seed=7)
+        h = nx.Graph()
+        h.add_edges_from(g.edges)
+        ours = fundamental_cycles(g, 0)
+        theirs = nx.cycle_basis(h)
+        assert len(ours) == len(theirs)  # both span the cycle space
+
+
+class TestWithProvidedTree:
+    def test_classify_with_sequential_tree(self):
+        from repro.baselines.sequential import sequential_dfs
+
+        g = G.gnm_random_connected_graph(25, 60, seed=9)
+        parent = sequential_dfs(g, 0)
+        cls = classify_edges(g, 0, parent=parent)
+        assert len(cls.tree_edges) == 24
+        assert len(cls.back_edges) == 60 - 24
+
+    def test_fundamental_cycles_with_provided_tree(self):
+        from repro.baselines.sequential import sequential_dfs
+
+        g = G.cycle_graph(5)
+        parent = sequential_dfs(g, 0)
+        cycles = fundamental_cycles(g, 0, parent=parent)
+        assert len(cycles) == 1
+        assert sorted(cycles[0]) == list(range(5))

@@ -1,0 +1,121 @@
+"""Tests for the deterministic edge dictionary (Appendix C, D3)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import generators as G
+from repro.pram import Tracker
+from repro.structures.edge_dictionary import EdgeDictionary
+
+
+def make(n=20, m=50, seed=0, **kw):
+    g = G.gnm_random_graph(n, m, seed=seed)
+    return g, EdgeDictionary(g, **kw)
+
+
+class TestBasics:
+    def test_starts_empty(self):
+        g, d = make()
+        assert len(d) == 0
+        assert d.lookup(g.edges[:3]) == [False, False, False]
+
+    def test_initially_present(self):
+        g, d = make(initially_present=True)
+        assert len(d) == g.m
+        assert all(d.lookup(g.edges))
+
+    def test_insert_lookup_delete(self):
+        g, d = make()
+        batch = g.edges[:5]
+        d.insert(batch)
+        assert all(d.lookup(batch))
+        assert len(d) == 5
+        d.delete(batch[:2])
+        assert d.lookup(batch) == [False, False, True, True, True]
+
+    def test_orientation_insensitive(self):
+        g, d = make()
+        u, v = g.edges[0]
+        d.insert([(v, u)])
+        assert (u, v) in d and (v, u) in d
+
+    def test_outside_universe_rejected(self):
+        g, d = make(n=10, m=10)
+        missing = next(
+            (a, b)
+            for a in range(10)
+            for b in range(a + 1, 10)
+            if not g.has_edge(a, b)
+        )
+        with pytest.raises(KeyError, match="universe"):
+            d.insert([missing])
+
+    def test_double_insert_rejected(self):
+        g, d = make()
+        d.insert(g.edges[:1])
+        with pytest.raises(KeyError, match="already"):
+            d.insert(g.edges[:1])
+
+    def test_delete_absent_rejected(self):
+        g, d = make()
+        with pytest.raises(KeyError, match="not present"):
+            d.delete(g.edges[:1])
+
+    def test_duplicate_universe_rejected(self):
+        with pytest.raises(ValueError):
+            EdgeDictionary([(0, 1), (1, 0)])
+
+
+class TestPayloadsAndSampling:
+    def test_payloads(self):
+        g, d = make()
+        d.insert(g.edges[:3], payloads=["a", "b", "c"])
+        assert d.get_payload(*g.edges[1]) == "b"
+        d.delete(g.edges[1:2])
+        with pytest.raises(KeyError):
+            d.get_payload(*g.edges[1])
+
+    def test_sample_distinct_present(self):
+        g, d = make(initially_present=True)
+        got = d.sample(7)
+        assert len(got) == 7 and len(set(got)) == 7
+        assert all(e in d for e in got)
+
+    def test_present_edges(self):
+        g, d = make()
+        d.insert(g.edges[10:15])
+        assert sorted(d.present_edges()) == sorted(g.edges[10:15])
+
+
+class TestCostsAndProperties:
+    def test_batch_cost_bounds(self):
+        g = G.gnm_random_graph(200, 800, seed=1)
+        t = Tracker()
+        d = EdgeDictionary(g, tracker=t)
+        t.reset()
+        d.insert(g.edges[:32])
+        logu = (g.m).bit_length()
+        assert t.work <= 30 * 32 * logu
+        assert t.span <= 20 * logu * logu
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_property_matches_set_model(self, seed):
+        rng = random.Random(seed)
+        g = G.gnm_random_graph(15, 40, seed=seed)
+        d = EdgeDictionary(g)
+        model = set()
+        for _ in range(30):
+            e = g.edges[rng.randrange(g.m)]
+            if e in model:
+                if rng.random() < 0.7:
+                    d.delete([e])
+                    model.discard(e)
+            else:
+                d.insert([e])
+                model.add(e)
+            assert len(d) == len(model)
+        assert set(d.present_edges()) == model

@@ -1,0 +1,134 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro.graph import generators as G
+
+
+class TestDeterministicFamilies:
+    def test_path(self):
+        g = G.path_graph(5)
+        assert g.n == 5 and g.m == 4
+        assert g.is_connected()
+        degs = sorted(g.degree(v) for v in range(5))
+        assert degs == [1, 1, 2, 2, 2]
+
+    def test_cycle(self):
+        g = G.cycle_graph(6)
+        assert g.m == 6
+        assert all(g.degree(v) == 2 for v in range(6))
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ValueError):
+            G.cycle_graph(2)
+
+    def test_star(self):
+        g = G.star_graph(7)
+        assert g.degree(0) == 6
+        assert all(g.degree(v) == 1 for v in range(1, 7))
+
+    def test_complete(self):
+        g = G.complete_graph(5)
+        assert g.m == 10
+
+    def test_grid(self):
+        g = G.grid_graph(3, 4)
+        assert g.n == 12
+        assert g.m == 3 * 3 + 2 * 4  # horizontal + vertical
+        assert g.is_connected()
+
+    def test_hypercube(self):
+        g = G.hypercube_graph(4)
+        assert g.n == 16
+        assert all(g.degree(v) == 4 for v in range(16))
+
+    def test_binary_tree(self):
+        g = G.binary_tree_graph(15)
+        assert g.m == 14
+        assert g.is_connected()
+
+    def test_caterpillar(self):
+        g = G.caterpillar_graph(5, legs_per_vertex=2)
+        assert g.n == 15
+        assert g.m == 14
+        assert g.is_connected()
+
+    def test_broom(self):
+        g = G.broom_graph(10, 5)
+        assert g.n == 15
+        assert g.degree(9) == 6
+
+    def test_lollipop(self):
+        g = G.lollipop_graph(5, 7)
+        assert g.n == 12
+        assert g.m == 10 + 7
+        assert g.is_connected()
+
+    def test_barbell(self):
+        g = G.barbell_graph(4, 3)
+        assert g.n == 11
+        assert g.is_connected()
+
+
+class TestRandomFamilies:
+    def test_random_tree_is_tree(self):
+        for seed in range(5):
+            g = G.random_tree(50, seed=seed)
+            assert g.m == 49
+            assert g.is_connected()
+
+    def test_random_tree_deterministic_per_seed(self):
+        assert G.random_tree(30, seed=7).edges == G.random_tree(30, seed=7).edges
+        assert G.random_tree(30, seed=7).edges != G.random_tree(30, seed=8).edges
+
+    def test_gnm_counts(self):
+        g = G.gnm_random_graph(20, 35, seed=1)
+        assert g.n == 20 and g.m == 35
+
+    def test_gnm_rejects_overfull(self):
+        with pytest.raises(ValueError):
+            G.gnm_random_graph(4, 7)
+
+    def test_gnm_connected(self):
+        for seed in range(5):
+            g = G.gnm_random_connected_graph(40, 60, seed=seed)
+            assert g.m == 60
+            assert g.is_connected()
+
+    def test_gnm_connected_rejects_too_sparse(self):
+        with pytest.raises(ValueError):
+            G.gnm_random_connected_graph(10, 5)
+
+    def test_random_regular(self):
+        g = G.random_regular_graph(30, 4, seed=3)
+        assert all(g.degree(v) == 4 for v in range(30))
+
+    def test_random_regular_parity(self):
+        with pytest.raises(ValueError):
+            G.random_regular_graph(5, 3)
+
+    def test_small_world(self):
+        g = G.small_world_graph(40, k=4, beta=0.2, seed=2)
+        assert g.n == 40
+        assert g.m >= 40  # roughly n*k/2, rewiring can only collide rarely
+
+    def test_small_world_validates(self):
+        with pytest.raises(ValueError):
+            G.small_world_graph(10, k=3)
+
+    def test_two_level_community(self):
+        g = G.two_level_community_graph(80, communities=4, seed=5)
+        assert g.n == 80
+        assert g.is_connected()
+
+
+class TestFamilyRegistry:
+    def test_all_registered_families_build_connected(self):
+        for name in G.FAMILIES:
+            g = G.make_family(name, 64, seed=11)
+            assert g.n >= 49, name
+            assert g.is_connected(), name
+
+    def test_unknown_family(self):
+        with pytest.raises(KeyError):
+            G.make_family("nope", 10)

@@ -1,0 +1,107 @@
+"""Unit tests for the Graph representation."""
+
+import pytest
+
+from repro.graph import Graph
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = Graph(0)
+        assert g.n == 0 and g.m == 0
+
+    def test_basic(self):
+        g = Graph(4, [(0, 1), (1, 2), (3, 1)])
+        assert g.n == 4
+        assert g.m == 3
+        assert sorted(g.neighbors(1)) == [0, 2, 3]
+        assert g.degree(1) == 3
+        assert g.degree(0) == 1
+
+    def test_canonical_edge_orientation(self):
+        g = Graph(3, [(2, 0)])
+        assert g.edges == [(0, 2)]
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            Graph(3, [(1, 1)])
+
+    def test_rejects_duplicate(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Graph(3, [(0, 1), (1, 0)])
+
+    def test_allow_multi_dedups(self):
+        g = Graph(3, [(0, 1), (1, 0)], allow_multi=True)
+        assert g.m == 1
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            Graph(2, [(0, 2)])
+
+    def test_rejects_negative_n(self):
+        with pytest.raises(ValueError):
+            Graph(-1)
+
+    def test_from_edges_sizes_to_max(self):
+        g = Graph.from_edges([(0, 5), (2, 3)])
+        assert g.n == 6
+
+
+class TestQueries:
+    def test_has_edge_both_orientations(self):
+        g = Graph(3, [(0, 2)])
+        assert g.has_edge(0, 2) and g.has_edge(2, 0)
+        assert not g.has_edge(0, 1)
+
+    def test_edge_ids_consistent(self):
+        g = Graph(4, [(0, 1), (2, 3), (1, 2)])
+        for v in range(4):
+            for nbr, eid in zip(g.adj[v], g.adj_eids[v]):
+                u, w = g.edge_endpoints(eid)
+                assert {u, w} == {v, nbr}
+
+    def test_other_endpoint(self):
+        g = Graph(3, [(0, 2)])
+        assert g.other_endpoint(0, 0) == 2
+        assert g.other_endpoint(0, 2) == 0
+        with pytest.raises(ValueError):
+            g.other_endpoint(0, 1)
+
+    def test_iteration(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        assert list(g) == [(0, 1), (1, 2)]
+        assert list(g.vertices()) == [0, 1, 2]
+
+
+class TestTransforms:
+    def test_subgraph(self):
+        g = Graph(5, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)])
+        h, mapping = g.subgraph([1, 2, 3])
+        assert h.n == 3
+        assert h.m == 2
+        assert h.has_edge(mapping[1], mapping[2])
+        assert h.has_edge(mapping[2], mapping[3])
+
+    def test_relabeled(self):
+        g = Graph(3, [(0, 1)])
+        h = g.relabeled([2, 0, 1])
+        assert h.has_edge(2, 0)
+        assert h.m == 1
+
+    def test_relabeled_rejects_non_permutation(self):
+        g = Graph(3, [(0, 1)])
+        with pytest.raises(ValueError):
+            g.relabeled([0, 0, 1])
+
+
+class TestSequentialHelpers:
+    def test_components(self):
+        g = Graph(5, [(0, 1), (2, 3)])
+        comps = sorted(sorted(c) for c in g.connected_components_seq())
+        assert comps == [[0, 1], [2, 3], [4]]
+
+    def test_is_connected(self):
+        assert Graph(3, [(0, 1), (1, 2)]).is_connected()
+        assert not Graph(3, [(0, 1)]).is_connected()
+        assert Graph(0).is_connected()
+        assert Graph(1).is_connected()

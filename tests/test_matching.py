@@ -1,0 +1,198 @@
+"""Tests for Luby matching/MIS and Cole–Vishkin coloring."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import generators as G
+from repro.matching import (
+    cole_vishkin_3color,
+    is_maximal_matching,
+    is_mis,
+    luby_mis,
+    maximal_matching,
+    path_mis_deterministic,
+)
+from repro.pram import Tracker
+
+
+class TestMaximalMatching:
+    def test_empty(self):
+        assert maximal_matching(Tracker(), 3, []) == []
+
+    def test_single_edge(self):
+        assert maximal_matching(Tracker(), 2, [(0, 1)]) == [0]
+
+    def test_path_graph(self):
+        g = G.path_graph(10)
+        chosen = maximal_matching(Tracker(), g.n, g.edges, random.Random(0))
+        assert is_maximal_matching(g.n, g.edges, chosen)
+
+    def test_star_picks_exactly_one(self):
+        g = G.star_graph(20)
+        chosen = maximal_matching(Tracker(), g.n, g.edges, random.Random(1))
+        assert len(chosen) == 1
+        assert is_maximal_matching(g.n, g.edges, chosen)
+
+    def test_complete_graph(self):
+        g = G.complete_graph(9)
+        chosen = maximal_matching(Tracker(), g.n, g.edges, random.Random(2))
+        assert len(chosen) == 4
+        assert is_maximal_matching(g.n, g.edges, chosen)
+
+    def test_random_graphs_maximal(self):
+        rng = random.Random(3)
+        for _ in range(15):
+            n = rng.randrange(2, 50)
+            m = rng.randrange(0, min(100, n * (n - 1) // 2))
+            g = G.gnm_random_graph(n, m, seed=rng.randrange(1 << 30))
+            chosen = maximal_matching(
+                Tracker(), g.n, g.edges, random.Random(rng.randrange(1 << 30))
+            )
+            assert is_maximal_matching(g.n, g.edges, chosen)
+
+    @given(st.integers(2, 30), st.integers(0, 50), st.integers(0, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_property_maximal(self, n, m, seed):
+        m = min(m, n * (n - 1) // 2)
+        g = G.gnm_random_graph(n, m, seed=seed)
+        chosen = maximal_matching(Tracker(), g.n, g.edges, random.Random(seed + 1))
+        assert is_maximal_matching(g.n, g.edges, chosen)
+
+    def test_work_near_linear_in_edges(self):
+        g = G.gnm_random_connected_graph(256, 1024, seed=7)
+        t = Tracker()
+        maximal_matching(t, g.n, g.edges, random.Random(7))
+        logn = g.n.bit_length()
+        assert t.work <= 40 * g.m * logn
+        # polylog depth: rounds (log) x per-round span (log)
+        assert t.span <= 80 * logn * logn
+
+
+class TestLubyMIS:
+    def test_empty_graph_all_in(self):
+        assert luby_mis(Tracker(), 3, [[], [], []]) == {0, 1, 2}
+
+    def test_triangle(self):
+        adj = [[1, 2], [0, 2], [0, 1]]
+        mis = luby_mis(Tracker(), 3, adj, random.Random(0))
+        assert len(mis) == 1
+        assert is_mis(adj, mis)
+
+    def test_random_graphs_valid(self):
+        rng = random.Random(5)
+        for _ in range(15):
+            n = rng.randrange(1, 40)
+            m = rng.randrange(0, min(80, n * (n - 1) // 2) + 1)
+            g = G.gnm_random_graph(n, m, seed=rng.randrange(1 << 30))
+            mis = luby_mis(Tracker(), g.n, g.adj, random.Random(rng.randrange(1 << 30)))
+            assert is_mis(g.adj, mis)
+
+    def test_path_mis_size(self):
+        g = G.path_graph(30)
+        mis = luby_mis(Tracker(), g.n, g.adj, random.Random(4))
+        assert is_mis(g.adj, mis)
+        assert len(mis) >= 10  # MIS on a path covers >= 1/3 of vertices
+
+
+def build_paths(sizes):
+    vertices, prev_of = [], {}
+    nid = 0
+    for size in sizes:
+        prev = None
+        for _ in range(size):
+            vertices.append(nid)
+            prev_of[nid] = prev
+            prev = nid
+            nid += 1
+    return vertices, prev_of
+
+
+class TestColeVishkin:
+    def is_proper(self, vertices, prev_of, colors):
+        vset = set(vertices)
+        for v in vertices:
+            p = prev_of.get(v)
+            if p is not None and p in vset:
+                if colors[v] == colors[p]:
+                    return False
+        return True
+
+    def test_three_colors_on_long_path(self):
+        vs, prv = build_paths([100])
+        colors = cole_vishkin_3color(Tracker(), vs, prv)
+        assert set(colors.values()) <= {0, 1, 2}
+        assert self.is_proper(vs, prv, colors)
+
+    def test_multiple_paths(self):
+        vs, prv = build_paths([1, 2, 17, 33])
+        colors = cole_vishkin_3color(Tracker(), vs, prv)
+        assert set(colors.values()) <= {0, 1, 2}
+        assert self.is_proper(vs, prv, colors)
+
+    def test_empty(self):
+        assert cole_vishkin_3color(Tracker(), [], {}) == {}
+
+    def test_span_is_polyloglog(self):
+        # O(log* n) recoloring rounds: span far below log n rounds' worth
+        vs, prv = build_paths([4096])
+        t = Tracker()
+        cole_vishkin_3color(t, vs, prv)
+        # each round costs ~O(log n) span from forking; log* 4096 ~ 3 rounds + 3 shifts
+        assert t.span <= 40 * (len(vs).bit_length() + 2)
+
+    @given(st.lists(st.integers(1, 30), min_size=1, max_size=5))
+    @settings(max_examples=30, deadline=None)
+    def test_property_proper_coloring(self, sizes):
+        vs, prv = build_paths(sizes)
+        colors = cole_vishkin_3color(Tracker(), vs, prv)
+        assert set(colors.values()) <= {0, 1, 2}
+        assert self.is_proper(vs, prv, colors)
+
+
+class TestDeterministicPathMIS:
+    def check(self, vertices, prev_of, mis):
+        vset = set(vertices)
+        nxt = {}
+        for v in vertices:
+            p = prev_of.get(v)
+            if p is not None and p in vset:
+                nxt[p] = v
+        for v in mis:
+            p = prev_of.get(v)
+            if p is not None and p in vset:
+                assert p not in mis
+            if v in nxt:
+                assert nxt[v] not in mis
+        # maximality
+        for v in vertices:
+            if v in mis:
+                continue
+            p = prev_of.get(v)
+            nbrs = []
+            if p is not None and p in vset:
+                nbrs.append(p)
+            if v in nxt:
+                nbrs.append(nxt[v])
+            assert any(w in mis for w in nbrs), f"vertex {v} could join the MIS"
+
+    def test_path_mis(self):
+        vs, prv = build_paths([50])
+        mis = path_mis_deterministic(Tracker(), vs, prv)
+        self.check(vs, prv, mis)
+        assert len(mis) >= len(vs) // 3
+
+    def test_deterministic(self):
+        vs, prv = build_paths([64])
+        a = path_mis_deterministic(Tracker(), vs, prv)
+        b = path_mis_deterministic(Tracker(), vs, prv)
+        assert a == b
+
+    @given(st.lists(st.integers(1, 25), min_size=1, max_size=5))
+    @settings(max_examples=30, deadline=None)
+    def test_property_valid_mis(self, sizes):
+        vs, prv = build_paths(sizes)
+        mis = path_mis_deterministic(Tracker(), vs, prv)
+        self.check(vs, prv, mis)

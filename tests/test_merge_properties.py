@@ -1,0 +1,143 @@
+"""Direct verification of the Lemma 4.2 guarantees.
+
+The path-merging output must satisfy three properties (Section 4.1.2);
+the whole Appendix A singular-case analysis rests on them. We verify them
+by brute force on randomized instances:
+
+1. maximality — no path from ``L - L̂`` to ``S - Ŝ`` whose internal
+   vertices all lie in ``D`` (the free vertices);
+2. no such path from the discarded parts ``L*`` either;
+3. ``|P2|`` is at most the termination threshold.
+
+Property 1 and 2 follow from Lemma 4.3 ("dead vertices have no D-path to
+an unjoined short"), which we also test directly.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.path_merge import merge_paths
+from repro.graph import Graph
+from repro.graph import generators as G
+from repro.pram import Tracker
+
+
+def d_reachable(g: Graph, sources: set[int], allowed_internal: set[int]) -> set[int]:
+    """Vertices reachable from `sources` via paths whose internal vertices
+    are all in `allowed_internal` (endpoints unconstrained)."""
+    out = set()
+    frontier = set(sources)
+    seen = set(sources)
+    while frontier:
+        nxt = set()
+        for u in frontier:
+            for w in g.adj[u]:
+                if w in seen:
+                    continue
+                out.add(w)
+                seen.add(w)
+                if w in allowed_internal:
+                    nxt.add(w)
+        frontier = nxt
+    return out
+
+
+def run_merge(n, m, n_long, n_short, seed):
+    rng = random.Random(seed)
+    g = G.gnm_random_connected_graph(n, m, seed=seed)
+    vs = list(range(n))
+    rng.shuffle(vs)
+    longs = [[vs[i]] for i in range(n_long)]
+    shorts = [[vs[n_long + i]] for i in range(n_short)]
+    t = Tracker()
+    res = merge_paths(g, t, longs, shorts, rng, threshold=1.0)
+    return g, longs, shorts, res
+
+
+def classify(g, longs, shorts, res):
+    all_long_orig = {v for l in longs for v in l}
+    all_short = {v for s in shorts for v in s}
+    joined_long_idx = set(res.p1) | set(res.p2)
+    unjoined_longs = {
+        v
+        for i, st_ in enumerate(res.longs)
+        if i not in joined_long_idx
+        for v in st_.orig
+    }
+    l_star = {v for st_ in res.longs for v in st_.killed_orig}
+    dead_ext = {v for st_ in res.longs for v in st_.killed_ext}
+    joined_short_vs = {
+        v for si in res.joined_shorts for v in shorts[si]
+    }
+    unjoined_shorts = all_short - joined_short_vs
+    cur_vertices = {v for st_ in res.longs for v in st_.cur}
+    # D = everything not on original paths (free vertices)
+    d_vertices = set(range(g.n)) - all_long_orig - all_short
+    # D minus what merging consumed (extensions) or killed
+    d_free = d_vertices - cur_vertices - dead_ext
+    return {
+        "unjoined_longs": unjoined_longs,
+        "l_star": l_star,
+        "dead_ext": dead_ext,
+        "unjoined_shorts": unjoined_shorts,
+        "d_free": d_free,
+        "d_all": d_vertices,
+    }
+
+
+SCENARIOS = [
+    (20, 40, 3, 4, 0),
+    (30, 60, 4, 6, 1),
+    (40, 90, 5, 8, 2),
+    (25, 50, 6, 3, 3),
+    (50, 110, 8, 10, 4),
+]
+
+
+@pytest.mark.parametrize("n,m,nl,ns,seed", SCENARIOS)
+class TestLemma42Properties:
+    def test_property_1_maximality(self, n, m, nl, ns, seed):
+        g, longs, shorts, res = run_merge(n, m, nl, ns, seed)
+        c = classify(g, longs, shorts, res)
+        # the D-internal paths may pass through free *or dead* D vertices —
+        # Lemma 4.3's point is that dead vertices block nothing new, so the
+        # conservative check uses every vertex outside the final paths/Q
+        allowed = c["d_free"] | c["dead_ext"]
+        reach = d_reachable(g, c["unjoined_longs"], allowed)
+        assert not (reach & c["unjoined_shorts"]), (
+            "an unjoined long can still reach an unjoined short through D"
+        )
+
+    def test_property_2_discarded_parts(self, n, m, nl, ns, seed):
+        g, longs, shorts, res = run_merge(n, m, nl, ns, seed)
+        c = classify(g, longs, shorts, res)
+        allowed = c["d_free"] | c["dead_ext"]
+        reach = d_reachable(g, c["l_star"], allowed)
+        assert not (reach & c["unjoined_shorts"]), (
+            "a discarded L* piece can still reach an unjoined short through D"
+        )
+
+    def test_property_3_p2_bounded(self, n, m, nl, ns, seed):
+        g, longs, shorts, res = run_merge(n, m, nl, ns, seed)
+        # threshold=1.0: the process only stops when fewer than one head is
+        # active, so at most the final frozen head can land in P2
+        assert len(res.p2) <= 1
+
+
+class TestLemma43DeadVertices:
+    @given(st.integers(12, 40), st.integers(0, 10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_dead_vertices_cannot_reach_unjoined_shorts(self, n, seed):
+        rng = random.Random(seed)
+        m = min(2 * n, n * (n - 1) // 2)
+        g, longs, shorts, res = run_merge(n, m, max(1, n // 8), max(1, n // 6), seed)
+        c = classify(g, longs, shorts, res)
+        dead = c["l_star"] | c["dead_ext"]
+        if not dead:
+            return
+        allowed = c["d_free"] | c["dead_ext"]
+        reach = d_reachable(g, dead, allowed)
+        assert not (reach & c["unjoined_shorts"])

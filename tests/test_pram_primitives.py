@@ -1,0 +1,131 @@
+"""Unit + property tests for the parallel array primitives."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pram import primitives as P
+from repro.pram.tracker import Tracker
+
+
+def fresh():
+    return Tracker()
+
+
+class TestReduce:
+    def test_reduce_sum_basic(self):
+        assert P.reduce_sum(fresh(), [1, 2, 3, 4, 5]) == 15
+
+    def test_reduce_sum_empty(self):
+        assert P.reduce_sum(fresh(), []) == 0
+
+    def test_reduce_sum_single(self):
+        assert P.reduce_sum(fresh(), [42]) == 42
+
+    def test_reduce_max_min(self):
+        xs = [5, -2, 9, 3]
+        assert P.reduce_max(fresh(), xs) == 9
+        assert P.reduce_min(fresh(), xs) == -2
+
+    def test_reduce_empty_max_raises(self):
+        with pytest.raises(ValueError):
+            P.reduce_max(fresh(), [])
+
+    def test_reduce_span_is_logarithmic(self):
+        t = fresh()
+        P.reduce_sum(t, list(range(1024)))
+        # 10 combine levels, each O(1) span plus fork overhead O(log n)
+        assert t.span <= 12 * (2 + 11)
+        assert t.work >= 1023  # at least one op per combine
+
+    @given(st.lists(st.integers(-1000, 1000), max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_reduce_sum_matches_builtin(self, xs):
+        assert P.reduce_sum(fresh(), xs) == sum(xs)
+
+
+class TestScan:
+    def test_exclusive_scan_basic(self):
+        assert P.exclusive_scan(fresh(), [3, 1, 7, 0, 4]) == [0, 3, 4, 11, 11]
+
+    def test_exclusive_scan_empty(self):
+        assert P.exclusive_scan(fresh(), []) == []
+
+    def test_exclusive_scan_single(self):
+        assert P.exclusive_scan(fresh(), [9]) == [0]
+
+    def test_inclusive_scan(self):
+        assert P.inclusive_scan(fresh(), [3, 1, 7]) == [3, 4, 11]
+
+    def test_scan_non_power_of_two(self):
+        xs = list(range(13))
+        expect = [sum(xs[:i]) for i in range(13)]
+        assert P.exclusive_scan(fresh(), xs) == expect
+
+    @given(st.lists(st.integers(-50, 50), max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_scan_matches_reference(self, xs):
+        expect = []
+        acc = 0
+        for x in xs:
+            expect.append(acc)
+            acc += x
+        assert P.exclusive_scan(fresh(), xs) == expect
+
+    def test_scan_work_linear(self):
+        t = fresh()
+        n = 4096
+        P.exclusive_scan(t, [1] * n)
+        assert t.work <= 20 * n  # O(n) with a small constant
+        assert t.span <= 10 * (n.bit_length() + 2) ** 2
+
+
+class TestPack:
+    def test_pack_basic(self):
+        xs = ["a", "b", "c", "d"]
+        flags = [True, False, True, False]
+        assert P.pack(fresh(), xs, flags) == ["a", "c"]
+
+    def test_pack_all_false(self):
+        assert P.pack(fresh(), [1, 2], [False, False]) == []
+
+    def test_pack_all_true(self):
+        assert P.pack(fresh(), [1, 2], [True, True]) == [1, 2]
+
+    def test_pack_empty(self):
+        assert P.pack(fresh(), [], []) == []
+
+    def test_pack_length_mismatch(self):
+        with pytest.raises(ValueError):
+            P.pack(fresh(), [1], [True, False])
+
+    def test_pack_index(self):
+        assert P.pack_index(fresh(), [False, True, True, False, True]) == [1, 2, 4]
+
+    @given(st.lists(st.tuples(st.integers(), st.booleans()), max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_pack_matches_comprehension(self, pairs):
+        xs = [p[0] for p in pairs]
+        flags = [p[1] for p in pairs]
+        assert P.pack(fresh(), xs, flags) == [x for x, f in pairs if f]
+
+
+class TestMaps:
+    def test_map_inplace(self):
+        t = fresh()
+        xs = [1, 2, 3]
+        P.map_inplace(t, xs, lambda x: x * 2)
+        assert xs == [2, 4, 6]
+
+    def test_parallel_map(self):
+        assert P.parallel_map(fresh(), [1, 2], lambda x: x + 1) == [2, 3]
+
+    def test_argmin_by(self):
+        xs = [(0, 5), (1, 2), (2, 2), (3, 9)]
+        assert P.argmin_by(fresh(), xs, key=lambda p: p[1]) == 1  # tie -> lowest index
+
+    def test_argmin_empty_raises(self):
+        with pytest.raises(ValueError):
+            P.argmin_by(fresh(), [], key=lambda x: x)

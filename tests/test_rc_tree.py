@@ -1,0 +1,309 @@
+"""Tests for the rake-and-compress forest (Lemma 6.2, Section 6.4)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.traversal import tree_path
+from repro.pram import Tracker
+from repro.structures.rc_tree import RCForest
+
+
+def build_forest(n, edges, **kw):
+    f = RCForest(n, **kw)
+    f.batch_update([], list(edges))
+    return f
+
+
+def ref_path(edges, u, v):
+    """Oracle tree path via BFS parents."""
+    adj = {}
+    for a, b in edges:
+        adj.setdefault(a, []).append(b)
+        adj.setdefault(b, []).append(a)
+    parent = {u: None}
+    queue = [u]
+    while queue:
+        x = queue.pop(0)
+        for w in adj.get(x, []):
+            if w not in parent:
+                parent[w] = x
+                queue.append(w)
+    if v not in parent:
+        return None
+    out = [v]
+    while parent[out[-1]] is not None:
+        out.append(parent[out[-1]])
+    return list(reversed(out))
+
+
+class TestStaticConstruction:
+    def test_empty_forest_roots(self):
+        f = RCForest(4)
+        assert len(f.roots()) == 4
+        f.check_invariants()
+
+    def test_single_edge(self):
+        f = build_forest(2, [(0, 1)])
+        assert len(f.roots()) == 1
+        assert f.connected(0, 1)
+        f.check_invariants()
+
+    def test_path_graph_hierarchy(self):
+        f = build_forest(10, [(i, i + 1) for i in range(9)])
+        assert len(f.roots()) == 1
+        f.check_invariants()
+
+    def test_star_hierarchy(self):
+        f = build_forest(12, [(0, i) for i in range(1, 12)])
+        assert len(f.roots()) == 1
+        f.check_invariants()
+
+    def test_figure2_example_tree(self):
+        # the paper's Figure 2 tree: vertices {A..F} = {0..5}
+        # edges: per the figure, a small tree with leaves A, E, F
+        # A-B, B-C, C-D, D-E, D-F
+        f = build_forest(6, [(0, 1), (1, 2), (2, 3), (3, 4), (3, 5)])
+        assert len(f.roots()) == 1
+        f.check_invariants()
+        assert f.levels_used() <= 8
+
+    def test_levels_logarithmic(self):
+        n = 512
+        f = build_forest(n, [(i, i + 1) for i in range(n - 1)])
+        # a path should collapse in O(log n) levels w.h.p.
+        assert f.levels_used() <= 6 * n.bit_length()
+        f.check_invariants()
+
+    def test_two_components(self):
+        f = build_forest(6, [(0, 1), (1, 2), (3, 4)])
+        assert len(f.roots()) == 3  # {0,1,2}, {3,4}, {5}
+        assert f.connected(0, 2)
+        assert not f.connected(2, 3)
+
+
+class TestDynamicUpdates:
+    def test_link_then_cut_roundtrip(self):
+        f = RCForest(5)
+        f.link(0, 1)
+        f.link(1, 2)
+        f.check_invariants()
+        assert f.connected(0, 2)
+        f.cut(0, 1)
+        f.check_invariants()
+        assert not f.connected(0, 2)
+        assert f.connected(1, 2)
+
+    def test_cut_missing_raises(self):
+        f = RCForest(3)
+        with pytest.raises(ValueError):
+            f.cut(0, 1)
+
+    def test_duplicate_link_raises(self):
+        f = RCForest(3)
+        f.link(0, 1)
+        with pytest.raises(ValueError):
+            f.link(1, 0)
+
+    def test_self_loop_raises(self):
+        with pytest.raises(ValueError):
+            RCForest(2).link(1, 1)
+
+    def test_batch_update(self):
+        f = build_forest(8, [(i, i + 1) for i in range(7)])
+        f.batch_update([(3, 4)], [(0, 7)])
+        f.check_invariants()
+        assert f.connected(3, 4)  # still connected via the new edge 0-7
+        assert sorted(f.edge_set()) == sorted(
+            [(i, i + 1) for i in range(7) if i != 3] + [(0, 7)]
+        )
+
+    def test_random_churn_keeps_invariants(self):
+        rng = random.Random(3)
+        n = 24
+        f = RCForest(n)
+        edges = set()
+        for step in range(120):
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u == v:
+                continue
+            if f.connected(u, v):
+                if edges and rng.random() < 0.6:
+                    a, b = rng.choice(sorted(edges))
+                    f.cut(a, b)
+                    edges.discard((a, b))
+            else:
+                f.link(u, v)
+                edges.add((min(u, v), max(u, v)))
+            if step % 20 == 19:
+                f.check_invariants()
+                assert f.edge_set() == edges
+        f.check_invariants()
+
+    @given(st.integers(2, 14), st.integers(0, 10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_property_random_ops(self, n, seed):
+        rng = random.Random(seed)
+        f = RCForest(n, seed=seed & 0xFFFF)
+        edges = set()
+        for _ in range(30):
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u == v:
+                continue
+            if f.connected(u, v):
+                if edges and rng.random() < 0.5:
+                    a, b = rng.choice(sorted(edges))
+                    f.cut(a, b)
+                    edges.discard((a, b))
+            else:
+                f.link(u, v)
+                edges.add((min(u, v), max(u, v)))
+        f.check_invariants()
+        assert f.edge_set() == edges
+
+
+class TestPathQueries:
+    def test_path_on_path_graph(self):
+        f = build_forest(6, [(i, i + 1) for i in range(5)])
+        assert f.path(0, 5) == [0, 1, 2, 3, 4, 5]
+        assert f.path(5, 0) == [5, 4, 3, 2, 1, 0]
+        assert f.path(2, 2) == [2]
+        assert f.path(2, 3) == [2, 3]
+
+    def test_path_in_star(self):
+        f = build_forest(6, [(0, i) for i in range(1, 6)])
+        assert f.path(1, 2) == [1, 0, 2]
+        assert f.path(0, 3) == [0, 3]
+
+    def test_path_disconnected_raises(self):
+        f = build_forest(4, [(0, 1)])
+        with pytest.raises(ValueError):
+            f.path(0, 3)
+
+    def test_random_trees_match_oracle(self):
+        rng = random.Random(5)
+        for trial in range(12):
+            n = rng.randrange(2, 40)
+            edges = []
+            for v in range(1, n):
+                edges.append((rng.randrange(v), v))
+            f = build_forest(n, edges, seed=trial)
+            for _ in range(8):
+                u, v = rng.randrange(n), rng.randrange(n)
+                assert f.path(u, v) == ref_path(edges, u, v)
+
+    def test_path_after_updates(self):
+        rng = random.Random(8)
+        n = 20
+        f = RCForest(n)
+        edges = set()
+        for _ in range(80):
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u == v:
+                continue
+            if f.connected(u, v):
+                p = f.path(u, v)
+                assert p == ref_path(sorted(edges), u, v)
+                if edges and rng.random() < 0.5:
+                    a, b = rng.choice(sorted(edges))
+                    f.cut(a, b)
+                    edges.discard((a, b))
+            else:
+                f.link(u, v)
+                edges.add((min(u, v), max(u, v)))
+
+    def test_path_work_proportional_to_distance(self):
+        n = 1024
+        f = build_forest(n, [(i, i + 1) for i in range(n - 1)])
+        t = f.t
+        t.reset()
+        f.path(0, 8)
+        short_work = t.work
+        t.reset()
+        f.path(0, n - 1)
+        long_work = t.work
+        logn = n.bit_length()
+        assert short_work <= 80 * (8 + logn) * logn
+        assert long_work >= n  # must at least write the long path
+        assert short_work * 8 < long_work  # near-linear separation
+
+
+class TestFlagQueries:
+    def test_prefix_to_first_flagged_on_path(self):
+        f = build_forest(8, [(i, i + 1) for i in range(7)])
+        f.set_flag(5, True)
+        assert f.path_prefix_to_first_flagged(0, 5) == [0, 1, 2, 3, 4, 5]
+        assert f.path_prefix_to_first_flagged(7, 5) == [7, 6, 5]
+        assert f.path_prefix_to_first_flagged(5, 5) == [5]
+
+    def test_nearest_flag_wins(self):
+        f = build_forest(10, [(i, i + 1) for i in range(9)])
+        f.set_flag(3, True)
+        f.set_flag(7, True)
+        p = f.path_prefix_to_first_flagged(5, 0)
+        # from 5 the nearest flagged vertex is 3 or 7 (both distance 2)
+        assert p[0] == 5
+        assert p[-1] in (3, 7)
+        assert all(not f.get_flag(x) for x in p[:-1])
+
+    def test_no_flags_returns_none(self):
+        f = build_forest(4, [(0, 1), (1, 2)])
+        assert f.path_prefix_to_first_flagged(0, 2) is None
+
+    def test_flags_in_branched_tree(self):
+        # star with flagged leaf: path must route through the center
+        f = build_forest(7, [(0, i) for i in range(1, 7)])
+        f.set_flag(6, True)
+        p = f.path_prefix_to_first_flagged(1, 6)
+        assert p == [1, 0, 6]
+
+    def test_flag_clear_and_reset(self):
+        f = build_forest(5, [(i, i + 1) for i in range(4)])
+        f.set_flag(4, True)
+        f.set_flag(4, False)
+        assert f.path_prefix_to_first_flagged(0, 4) is None
+        f.set_flag(2, True)
+        assert f.path_prefix_to_first_flagged(0, 4) == [0, 1, 2]
+        f.check_invariants()
+
+    def test_flags_survive_updates(self):
+        f = build_forest(8, [(i, i + 1) for i in range(7)])
+        f.set_flag(6, True)
+        f.cut(2, 3)
+        f.link(2, 3)
+        f.check_invariants()
+        assert f.path_prefix_to_first_flagged(0, 6)[-1] == 6
+
+    def test_prefix_work_independent_of_far_flag(self):
+        # prefix query work must scale with the prefix, not with d(v, q)
+        n = 2048
+        f = build_forest(n, [(i, i + 1) for i in range(n - 1)])
+        f.set_flag(4, True)
+        f.set_flag(n - 1, True)
+        t = f.t
+        t.reset()
+        p = f.path_prefix_to_first_flagged(0, n - 1)
+        assert p == [0, 1, 2, 3, 4]
+        logn = n.bit_length()
+        assert t.work <= 100 * (len(p) + logn) * logn
+
+    @given(st.integers(3, 24), st.integers(0, 10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_property_prefix_correctness(self, n, seed):
+        rng = random.Random(seed)
+        edges = [(rng.randrange(v), v) for v in range(1, n)]
+        f = build_forest(n, edges, seed=seed & 0xFFFF)
+        flags = set(rng.sample(range(n), rng.randrange(1, n)))
+        for v in flags:
+            f.set_flag(v, True)
+        start = rng.randrange(n)
+        target = rng.choice(sorted(flags))
+        p = f.path_prefix_to_first_flagged(start, target)
+        assert p is not None
+        assert p[0] == start
+        assert p[-1] in flags
+        assert all(x not in flags for x in p[:-1])
+        # p is a genuine tree path
+        assert p == ref_path(edges, start, p[-1])

@@ -1,0 +1,215 @@
+"""Tests for path merging, path reduction and separator construction
+(Section 4, Theorem 3.1)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.path_merge import merge_paths
+from repro.core.reduction import paths_form_separator, reduce_paths, split_short_at
+from repro.core.separator import build_separator
+from repro.core.verify import check_path_collection, is_separator
+from repro.graph import Graph
+from repro.graph import generators as G
+from repro.pram import Tracker
+
+
+class TestSplitShortAt:
+    def test_middle(self):
+        absorbed, rest = split_short_at([1, 2, 3, 4, 5], 2)
+        assert absorbed == [2, 1]  # outward from y=3
+        assert rest == [4, 5]
+
+    def test_longer_after(self):
+        absorbed, rest = split_short_at([1, 2, 3, 4, 5], 1)
+        assert absorbed == [3, 4, 5]
+        assert rest == [1]
+
+    def test_endpoint(self):
+        absorbed, rest = split_short_at([1, 2, 3], 0)
+        assert absorbed == [2, 3]
+        assert rest == []
+
+    def test_singleton(self):
+        absorbed, rest = split_short_at([7], 0)
+        assert absorbed == []
+        assert rest == []
+
+
+class TestMergePaths:
+    def test_single_long_reaches_short(self):
+        # path graph: long [0], short [4]; connector must be 1-2-3
+        g = G.path_graph(5)
+        t = Tracker()
+        res = merge_paths(g, t, [[0]], [[4]], random.Random(1), threshold=1.0)
+        assert res.p1 == [0]
+        st0 = res.longs[0]
+        assert st0.status == "succeeded"
+        si, y = st0.joined_short
+        assert si == 0 and y == 4
+        assert st0.cur == [0, 1, 2, 3]
+
+    def test_dead_end_kills_path(self):
+        # long path [0] in a path graph with NO short: head dies repeatedly
+        g = G.path_graph(3)
+        t = Tracker()
+        res = merge_paths(g, t, [[0, 1, 2]], [], random.Random(1), threshold=1.0)
+        # no shorts to reach: everything dies
+        assert res.longs[0].status == "dead"
+        assert res.p1 == [] and res.p2 == []
+
+    def test_threshold_stops_early(self):
+        g = G.path_graph(6)
+        t = Tracker()
+        # threshold larger than #heads: no steps happen; the long stays as P2
+        res = merge_paths(g, t, [[0]], [[5]], random.Random(1), threshold=5.0)
+        assert res.p2 == [0]
+        assert res.steps == 0
+
+    def test_two_longs_compete_for_one_short(self):
+        # star of paths: two longs can reach the single short; only one may
+        # join it (paths in P are vertex disjoint; short joins at most one)
+        g = Graph(7, [(0, 2), (1, 3), (2, 4), (3, 4), (4, 5), (4, 6)])
+        t = Tracker()
+        res = merge_paths(
+            g, t, [[0], [1]], [[5]], random.Random(3), threshold=1.0
+        )
+        assert len(res.p1) <= 1
+        assert len(res.joined_shorts) <= 1
+
+    def test_extensions_are_disjoint_graph_paths(self):
+        rng = random.Random(9)
+        g = G.gnm_random_connected_graph(60, 150, seed=9)
+        vs = list(range(60))
+        rng.shuffle(vs)
+        longs = [[vs[0]], [vs[1]], [vs[2]]]
+        shorts = [[vs[3]], [vs[4]], [vs[5]], [vs[6]]]
+        t = Tracker()
+        res = merge_paths(g, t, longs, shorts, rng, threshold=1.0)
+        seen = set()
+        for st_ in res.longs:
+            ext = st_.extension
+            for a, b in zip(st_.cur, st_.cur[1:]):
+                assert g.has_edge(a, b)
+            for v in ext:
+                assert v not in seen
+                seen.add(v)
+
+    def test_work_scales_with_changes_not_graph(self):
+        # merging with everything already short-adjacent should not re-scan
+        # the whole graph repeatedly
+        g = G.gnm_random_connected_graph(256, 1024, seed=5)
+        t = Tracker()
+        longs = [[v] for v in range(0, 16)]
+        shorts = [[v] for v in range(16, 256)]
+        res = merge_paths(g, t, longs, shorts, random.Random(2), threshold=1.0)
+        logn = g.n.bit_length()
+        assert t.work <= 60 * (g.m + g.n) * logn  # far below m * steps
+
+
+class TestReducePaths:
+    def check_reduction(self, g, seed=0):
+        t = Tracker()
+        rng = random.Random(seed)
+        paths = [[v] for v in range(g.n)]
+        goal = max(1.0, 4 * g.n ** 0.5)
+        new = reduce_paths(g, t, paths, rng, goal)
+        assert check_path_collection(g, new) is None
+        assert paths_form_separator(g, t, new)
+        assert len(new) < g.n
+        return new
+
+    def test_on_grid(self):
+        self.check_reduction(G.grid_graph(8, 8))
+
+    def test_on_gnm(self):
+        self.check_reduction(G.gnm_random_connected_graph(100, 300, seed=2))
+
+    def test_on_tree(self):
+        self.check_reduction(G.random_tree(80, seed=3))
+
+    def test_on_path(self):
+        self.check_reduction(G.path_graph(64))
+
+    def test_on_expander(self):
+        self.check_reduction(G.random_regular_graph(64, 6, seed=4))
+
+    @given(st.integers(20, 80), st.integers(0, 10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_property_separator_preserved(self, n, seed):
+        g = G.gnm_random_connected_graph(n, 2 * n, seed=seed)
+        self.check_reduction(g, seed=seed)
+
+
+class TestBuildSeparator:
+    def run(self, g, factor=4.0, seed=0):
+        t = Tracker()
+        res = build_separator(
+            g, t, random.Random(seed), target_factor=factor, verify=True
+        )
+        assert check_path_collection(g, res.paths) is None
+        assert is_separator(g, res.vertices)
+        return res, t
+
+    def test_grid(self):
+        g = G.grid_graph(10, 10)
+        res, _ = self.run(g)
+        assert res.n_paths <= 4 * g.n ** 0.5 + 1
+
+    def test_gnm(self):
+        g = G.gnm_random_connected_graph(200, 600, seed=1)
+        res, _ = self.run(g)
+        assert res.n_paths <= 4 * g.n ** 0.5 + 1
+
+    def test_path_graph(self):
+        g = G.path_graph(100)
+        res, _ = self.run(g)
+        assert res.n_paths <= 4 * 10 + 1
+
+    def test_tree(self):
+        g = G.random_tree(150, seed=2)
+        res, _ = self.run(g)
+        assert res.n_paths <= 4 * g.n ** 0.5 + 1
+
+    def test_history_monotone(self):
+        g = G.gnm_random_connected_graph(150, 450, seed=3)
+        res, _ = self.run(g)
+        assert all(a > b for a, b in zip(res.history, res.history[1:]))
+
+    def test_tiny_graph(self):
+        g = G.path_graph(4)
+        res, _ = self.run(g)
+        assert is_separator(g, res.vertices)
+
+    def test_work_near_linear(self):
+        g = G.gnm_random_connected_graph(512, 1536, seed=4)
+        _, t = self.run(g)
+        logn = g.n.bit_length()
+        # Theorem 3.1 allows O(m log^7 n); we should be far below that
+        assert t.work <= 10 * g.m * logn**3
+
+    def test_depth_near_sqrt(self):
+        g = G.gnm_random_connected_graph(1024, 3072, seed=5)
+        _, t = self.run(g)
+        logn = g.n.bit_length()
+        assert t.span <= 30 * (g.n ** 0.5) * logn**3
+
+    def test_paths_count_sqrt_scaling(self):
+        counts = {}
+        for n in (64, 256, 1024):
+            g = G.gnm_random_connected_graph(n, 3 * n, seed=6)
+            res, _ = self.run(g)
+            counts[n] = res.n_paths
+        # 4x n -> about 2x path count (sqrt scaling), with slack
+        assert counts[256] <= 3.2 * counts[64] + 4
+        assert counts[1024] <= 3.2 * counts[256] + 4
+
+    @given(st.integers(8, 60), st.integers(0, 10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_property_always_separator(self, n, seed):
+        g = G.gnm_random_connected_graph(
+            n, min(2 * n, n * (n - 1) // 2), seed=seed
+        )
+        self.run(g, seed=seed)

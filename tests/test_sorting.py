@@ -1,0 +1,74 @@
+"""Tests for the parallel merge sort (D4)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pram import Tracker, parallel_merge, parallel_sort
+
+
+class TestParallelMerge:
+    def test_basic(self):
+        t = Tracker()
+        assert parallel_merge(t, [1, 4, 7], [2, 3, 9], key=lambda x: x) == [
+            1, 2, 3, 4, 7, 9,
+        ]
+
+    def test_empty_sides(self):
+        t = Tracker()
+        assert parallel_merge(t, [], [1, 2], key=lambda x: x) == [1, 2]
+        assert parallel_merge(t, [3], [], key=lambda x: x) == [3]
+
+    def test_skewed_lengths(self):
+        t = Tracker()
+        a = list(range(0, 200, 2))
+        b = [55]
+        assert parallel_merge(t, a, b, key=lambda x: x) == sorted(a + b)
+
+    @given(st.lists(st.integers(-100, 100)), st.lists(st.integers(-100, 100)))
+    @settings(max_examples=50, deadline=None)
+    def test_property(self, a, b):
+        t = Tracker()
+        got = parallel_merge(t, sorted(a), sorted(b), key=lambda x: x)
+        assert got == sorted(a + b)
+
+
+class TestParallelSort:
+    def test_basic(self):
+        t = Tracker()
+        assert parallel_sort(t, [5, 1, 4, 1, 5, 9, 2, 6]) == [1, 1, 2, 4, 5, 5, 6, 9]
+
+    def test_with_key(self):
+        t = Tracker()
+        got = parallel_sort(t, ["bbb", "a", "cc"], key=len)
+        assert got == ["a", "cc", "bbb"]
+
+    def test_empty_and_single(self):
+        t = Tracker()
+        assert parallel_sort(t, []) == []
+        assert parallel_sort(t, [7]) == [7]
+
+    @given(st.lists(st.integers(-1000, 1000), max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_property_matches_builtin(self, xs):
+        t = Tracker()
+        assert parallel_sort(t, xs) == sorted(xs)
+
+    def test_work_n_log_n(self):
+        t = Tracker()
+        n = 4096
+        rng = random.Random(1)
+        xs = [rng.randrange(10**6) for _ in range(n)]
+        parallel_sort(t, xs)
+        assert t.work <= 20 * n * n.bit_length()
+
+    def test_span_polylog(self):
+        t = Tracker()
+        n = 4096
+        rng = random.Random(2)
+        xs = [rng.randrange(10**6) for _ in range(n)]
+        parallel_sort(t, xs)
+        logn = n.bit_length()
+        assert t.span <= 20 * logn**3

@@ -1,0 +1,232 @@
+"""Stateful property tests (hypothesis RuleBasedStateMachine).
+
+Model-based fuzzing of the dynamic structures against trivially correct
+reference models: arbitrary interleavings of operations must keep every
+observable query consistent. This catches ordering bugs that fixed random
+scripts miss.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.graph import Graph
+from repro.structures.euler_tour import EulerTourForest
+from repro.structures.hdt import HDTConnectivity
+from repro.structures.link_cut import LinkCutForest
+from repro.structures.rc_tree import RCForest
+from repro.structures.tournament import TournamentTree
+
+N = 12
+
+
+class _ForestModel:
+    """Reference dynamic forest via recomputation."""
+
+    def __init__(self, n):
+        self.n = n
+        self.edges: set[tuple[int, int]] = set()
+
+    def component(self, v):
+        seen = {v}
+        stack = [v]
+        while stack:
+            x = stack.pop()
+            for a, b in self.edges:
+                w = b if a == x else a if b == x else None
+                if w is not None and w not in seen:
+                    seen.add(w)
+                    stack.append(w)
+        return seen
+
+    def connected(self, u, v):
+        return v in self.component(u)
+
+    def path(self, u, v):
+        # BFS parents within the forest
+        parent = {u: None}
+        frontier = [u]
+        while frontier:
+            nxt = []
+            for x in frontier:
+                for a, b in self.edges:
+                    w = b if a == x else a if b == x else None
+                    if w is not None and w not in parent:
+                        parent[w] = x
+                        nxt.append(w)
+            frontier = nxt
+        if v not in parent:
+            return None
+        out = [v]
+        while parent[out[-1]] is not None:
+            out.append(parent[out[-1]])
+        return list(reversed(out))
+
+
+class _ForestMachineBase(RuleBasedStateMachine):
+    """Shared rules driving a dynamic-forest structure vs the model."""
+
+    factory = None  # overridden
+
+    def __init__(self):
+        super().__init__()
+        self.model = _ForestModel(N)
+        self.impl = type(self).factory()
+
+    vertices = st.integers(0, N - 1)
+
+    @rule(u=vertices, v=vertices)
+    def link_or_note_cycle(self, u, v):
+        if u == v:
+            return
+        if self.model.connected(u, v):
+            assert self.impl.connected(u, v)
+        else:
+            assert not self.impl.connected(u, v)
+            self.impl.link(u, v)
+            self.model.edges.add((min(u, v), max(u, v)))
+
+    @precondition(lambda self: self.model.edges)
+    @rule(data=st.data())
+    def cut_existing(self, data):
+        u, v = data.draw(st.sampled_from(sorted(self.model.edges)))
+        self.impl.cut(u, v)
+        self.model.edges.discard((u, v))
+        assert not self.impl.connected(u, v)
+
+    @rule(u=vertices, v=vertices)
+    def query_connectivity(self, u, v):
+        assert self.impl.connected(u, v) == self.model.connected(u, v)
+
+
+class LCTMachine(_ForestMachineBase):
+    factory = staticmethod(lambda: LinkCutForest(N))
+
+    @rule(u=_ForestMachineBase.vertices, v=_ForestMachineBase.vertices)
+    def query_path(self, u, v):
+        want = self.model.path(u, v)
+        if want is None:
+            return
+        assert self.impl.path(u, v) == want
+
+
+class RCMachine(_ForestMachineBase):
+    factory = staticmethod(lambda: RCForest(N))
+
+    @rule(u=_ForestMachineBase.vertices, v=_ForestMachineBase.vertices)
+    def query_path(self, u, v):
+        want = self.model.path(u, v)
+        if want is None:
+            return
+        assert self.impl.path(u, v) == want
+
+    @invariant()
+    def hierarchy_consistent(self):
+        self.impl.check_invariants()
+
+
+class RCDetMachine(_ForestMachineBase):
+    factory = staticmethod(
+        lambda: RCForest(N, compress_mode="deterministic")
+    )
+
+    @invariant()
+    def hierarchy_consistent(self):
+        self.impl.check_invariants()
+
+
+class ETTMachine(_ForestMachineBase):
+    factory = staticmethod(lambda: EulerTourForest(N))
+
+    @rule(v=_ForestMachineBase.vertices)
+    def query_size(self, v):
+        assert self.impl.component_size(v) == len(self.model.component(v))
+
+    @rule(v=_ForestMachineBase.vertices)
+    def query_rep(self, v):
+        assert self.impl.component_rep(v) == min(self.model.component(v))
+
+
+class HDTMachine(RuleBasedStateMachine):
+    """HDT with interleaved inserts/deletes vs the recompute model."""
+
+    def __init__(self):
+        super().__init__()
+        self.impl = HDTConnectivity(Graph(N, []))
+        self.live: dict[int, tuple[int, int]] = {}
+
+    vertices = st.integers(0, N - 1)
+
+    @rule(u=vertices, v=vertices)
+    def insert(self, u, v):
+        if u == v:
+            return
+        key = (min(u, v), max(u, v))
+        if key in self.live.values():
+            return
+        eid = self.impl.insert_edge(u, v)
+        self.live[eid] = key
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def delete(self, data):
+        eid = data.draw(st.sampled_from(sorted(self.live)))
+        self.impl.delete_edge(eid)
+        del self.live[eid]
+
+    @rule(u=vertices, v=vertices)
+    def query(self, u, v):
+        model = _ForestModel(N)
+        model.edges = set(self.live.values())
+        assert self.impl.connected(u, v) == model.connected(u, v)
+
+
+class TournamentMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.impl = TournamentTree(list(range(N)))
+        self.active = set(range(N))
+
+    idx = st.integers(0, N - 1)
+
+    @rule(i=idx)
+    def deactivate(self, i):
+        self.impl.make_inactive([i])
+        self.active.discard(i)
+
+    @rule(i=idx)
+    def reactivate(self, i):
+        self.impl.make_active([i])
+        self.active.add(i)
+
+    @rule(t=st.integers(0, N + 2))
+    def query(self, t):
+        got = self.impl.query(t)
+        assert len(got) == min(t, len(self.active))
+        assert set(got) <= self.active
+        assert len(set(got)) == len(got)
+
+    @invariant()
+    def count_matches(self):
+        assert self.impl.n_active == len(self.active)
+
+
+_settings = settings(max_examples=20, stateful_step_count=30, deadline=None)
+
+TestLCTStateful = LCTMachine.TestCase
+TestLCTStateful.settings = _settings
+TestRCStateful = RCMachine.TestCase
+TestRCStateful.settings = _settings
+TestRCDetStateful = RCDetMachine.TestCase
+TestRCDetStateful.settings = _settings
+TestETTStateful = ETTMachine.TestCase
+TestETTStateful.settings = _settings
+TestHDTStateful = HDTMachine.TestCase
+TestHDTStateful.settings = _settings
+TestTournamentStateful = TournamentMachine.TestCase
+TestTournamentStateful.settings = _settings

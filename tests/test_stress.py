@@ -1,0 +1,193 @@
+"""Stress and failure-injection tests across the whole stack.
+
+These target the seams: adversarial topologies, all backend combinations,
+deep recursion shapes, vertex-ordering adversaries, and mixed dynamic
+workloads on the substrates.
+"""
+
+import random
+
+import pytest
+
+from repro import parallel_dfs
+from repro.core.verify import is_valid_dfs_tree
+from repro.graph import Graph
+from repro.graph import generators as G
+from repro.pram import Tracker
+from repro.structures.absorb_ds import AbsorptionStructure
+from repro.structures.hdt import HDTConnectivity
+from repro.structures.rc_tree import RCForest
+
+
+def spider_graph(legs: int, leg_len: int) -> Graph:
+    """A hub with `legs` long paths hanging off it."""
+    edges = []
+    nxt = 1
+    for _ in range(legs):
+        prev = 0
+        for _ in range(leg_len):
+            edges.append((prev, nxt))
+            prev = nxt
+            nxt += 1
+    return Graph(nxt, edges)
+
+
+def binary_tree_of_cycles(depth: int, cycle_len: int) -> Graph:
+    """Cycles arranged as a binary tree, joined by bridge edges."""
+    edges = []
+    cycles = []
+    nxt = 0
+    for _ in range(2**depth - 1):
+        base = nxt
+        for i in range(cycle_len):
+            edges.append((base + i, base + (i + 1) % cycle_len))
+        cycles.append(base)
+        nxt += cycle_len
+    for i in range(1, len(cycles)):
+        parent = cycles[(i - 1) // 2]
+        edges.append((parent, cycles[i]))
+    return Graph(nxt, edges)
+
+
+class TestAdversarialTopologies:
+    CASES = [
+        ("spider", spider_graph(12, 20)),
+        ("spider_fat", spider_graph(40, 5)),
+        ("cycle_tree", binary_tree_of_cycles(4, 7)),
+        ("double_broom", Graph.from_edges(
+            [(i, i + 1) for i in range(60)]
+            + [(0, 61 + j) for j in range(20)]
+            + [(60, 81 + j) for j in range(20)]
+        )),
+        ("theta", Graph.from_edges(
+            [(i, i + 1) for i in range(30)]
+            + [(0, 31)] + [(30 + j, 31 + j) for j in range(1, 20)]
+            + [(49, 30)]
+        )),
+        ("near_clique_with_tail", G.lollipop_graph(30, 100)),
+        ("two_cliques_bridge", G.barbell_graph(25, 1)),
+        ("dense", G.complete_graph(40)),
+    ]
+
+    @pytest.mark.parametrize("name,g", CASES, ids=[c[0] for c in CASES])
+    def test_valid_tree(self, name, g):
+        res = parallel_dfs(g, 0, verify=True)
+        assert is_valid_dfs_tree(g, 0, res.parent)
+
+    @pytest.mark.parametrize("name,g", CASES[:4], ids=[c[0] for c in CASES[:4]])
+    def test_valid_from_eccentric_root(self, name, g):
+        root = g.n - 1
+        res = parallel_dfs(g, root, verify=True)
+        assert res.parent[root] is None
+
+
+class TestVertexOrderAdversaries:
+    def test_reversed_labels(self):
+        g = G.grid_graph(10, 10).relabeled(list(reversed(range(100))))
+        res = parallel_dfs(g, 0, verify=True)
+        assert len(res.parent) == 100
+
+    def test_shuffled_labels(self):
+        rng = random.Random(13)
+        base = G.gnm_random_connected_graph(120, 360, seed=13)
+        perm = list(range(120))
+        rng.shuffle(perm)
+        g = base.relabeled(perm)
+        res = parallel_dfs(g, perm[0], verify=True)
+        assert len(res.parent) == 120
+
+    def test_interleaved_labels_on_path(self):
+        # even ids first then odd — stresses id-based tie-breaks
+        n = 80
+        perm = [2 * i for i in range(n // 2)] + [2 * i + 1 for i in range(n // 2)]
+        g = G.path_graph(n).relabeled(perm)
+        parallel_dfs(g, perm[0], verify=True)
+
+
+class TestAllBackendCombos:
+    @pytest.mark.parametrize("backend", ["rc", "rc-det", "lct"])
+    @pytest.mark.parametrize("structure", ["tournament", "naive"])
+    def test_matrix(self, backend, structure):
+        g = G.gnm_random_connected_graph(90, 260, seed=21)
+        res = parallel_dfs(
+            g, 0, backend=backend, neighbor_structure=structure, verify=True
+        )
+        assert len(res.parent) == 90
+
+    def test_backends_agree_on_validity_many_seeds(self):
+        for seed in range(6):
+            g = G.gnm_random_connected_graph(50, 140, seed=seed)
+            for backend in ("rc", "lct"):
+                parallel_dfs(
+                    g, 0, backend=backend, rng=random.Random(seed), verify=True
+                )
+
+
+class TestSubstrateMixedWorkloads:
+    def test_hdt_insert_delete_interleaved(self):
+        rng = random.Random(31)
+        g = G.gnm_random_connected_graph(40, 80, seed=31)
+        hdt = HDTConnectivity(g)
+        live = set(range(g.m))
+        extra = []
+        for step in range(150):
+            if rng.random() < 0.45 and live:
+                eid = rng.choice(sorted(live))
+                hdt.delete_edge(eid)
+                live.discard(eid)
+            else:
+                u, v = rng.randrange(40), rng.randrange(40)
+                if u != v:
+                    key = (min(u, v), max(u, v))
+                    if all(
+                        hdt.endpoints[e] != key or not hdt.alive[e]
+                        for e in range(len(hdt.endpoints))
+                    ):
+                        eid = hdt.insert_edge(u, v)
+                        live.add(eid)
+                        extra.append(eid)
+            if step % 30 == 29:
+                hdt.check_invariants()
+        hdt.check_invariants()
+
+    def test_absorption_structure_star_of_paths(self):
+        g = spider_graph(8, 8)
+        ds = AbsorptionStructure(g)
+        ds.set_separator([0])  # only the hub
+        for w in g.adj[1]:
+            pass
+        ds.set_tree_neighbor(1, 999, 0)
+        v, x, d = ds.lowest_node(0)
+        p = ds.find_path_s2p(0, v)
+        assert p[-1] == 0
+
+    def test_rc_forest_repeated_same_edge(self):
+        f = RCForest(6)
+        for _ in range(12):
+            f.link(0, 1)
+            f.cut(0, 1)
+        f.check_invariants()
+        assert f.edge_set() == set()
+
+    def test_rc_star_collapse_and_regrow(self):
+        n = 30
+        f = RCForest(n)
+        star = [(0, i) for i in range(1, n)]
+        f.batch_update([], star)
+        f.batch_update(star, [])
+        assert len(f.roots()) == n
+        path = [(i, i + 1) for i in range(n - 1)]
+        f.batch_update([], path)
+        assert len(f.roots()) == 1
+        f.check_invariants()
+
+
+class TestScaleSmoke:
+    def test_moderate_scale_all_families(self):
+        for name in G.FAMILIES:
+            g = G.make_family(name, 400, seed=5)
+            t = Tracker()
+            res = parallel_dfs(g, 0, tracker=t, verify=True)
+            # work stays within the theorem envelope on every family
+            logn = g.n.bit_length()
+            assert t.work <= 20 * (g.m + g.n) * logn**2, name

@@ -1,0 +1,116 @@
+"""Tests for Tarjan–Vishkin parallel biconnectivity."""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.biconnectivity import biconnectivity
+from repro.apps.tarjan_vishkin import tarjan_vishkin_biconnectivity
+from repro.graph import Graph
+from repro.graph import generators as G
+from repro.pram import Tracker
+
+
+def nx_components(g: Graph):
+    h = nx.Graph()
+    h.add_nodes_from(range(g.n))
+    h.add_edges_from(g.edges)
+    return {
+        frozenset(tuple(sorted(e)) for e in c)
+        for c in nx.biconnected_component_edges(h)
+    }
+
+
+def check(g: Graph):
+    ours = set(tarjan_vishkin_biconnectivity(g))
+    assert ours == nx_components(g)
+
+
+class TestAgainstNetworkx:
+    def test_cycle(self):
+        check(G.cycle_graph(8))
+
+    def test_path_every_edge_own_component(self):
+        g = G.path_graph(6)
+        comps = tarjan_vishkin_biconnectivity(g)
+        assert len(comps) == 5
+        assert all(len(c) == 1 for c in comps)
+
+    def test_star(self):
+        check(G.star_graph(9))
+
+    def test_barbell(self):
+        check(G.barbell_graph(5, 3))
+
+    def test_lollipop(self):
+        check(G.lollipop_graph(6, 7))
+
+    def test_grid(self):
+        check(G.grid_graph(5, 6))
+
+    def test_theta_graph(self):
+        # two vertices joined by three internally disjoint paths: one block
+        edges = (
+            [(0, 1), (1, 2), (2, 9)]
+            + [(0, 3), (3, 4), (4, 9)]
+            + [(0, 5), (5, 6), (6, 9)]
+        )
+        check(Graph(10, edges))
+
+    def test_disconnected(self):
+        g = Graph(9, [(0, 1), (1, 2), (2, 0), (4, 5), (6, 7), (7, 8), (8, 6)])
+        check(g)
+
+    def test_empty_graph(self):
+        assert tarjan_vishkin_biconnectivity(Graph(5, [])) == []
+
+    def test_random_graphs(self):
+        rng = random.Random(4)
+        for trial in range(15):
+            n = rng.randrange(3, 60)
+            m = rng.randrange(n - 1, min(3 * n, n * (n - 1) // 2) + 1)
+            check(G.gnm_random_connected_graph(n, m, seed=trial))
+
+    def test_random_disconnected(self):
+        rng = random.Random(6)
+        for trial in range(8):
+            n = rng.randrange(4, 40)
+            m = rng.randrange(0, min(2 * n, n * (n - 1) // 2) + 1)
+            check(G.gnm_random_graph(n, m, seed=trial + 100))
+
+    @given(st.integers(3, 40), st.integers(0, 10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_property(self, n, seed):
+        m = min(2 * n, n * (n - 1) // 2)
+        check(G.gnm_random_graph(n, m, seed=seed))
+
+
+class TestCrossValidationWithDFSRoute:
+    def test_two_parallel_routes_agree(self):
+        # DFS route (low-link over the Theorem 1.1 tree) vs the TV route
+        # (no DFS at all) — two independent parallel algorithms, one answer
+        for seed in range(5):
+            g = G.gnm_random_connected_graph(50, 120, seed=seed)
+            via_dfs = {frozenset(c) for c in biconnectivity(g, 0).components}
+            via_tv = set(tarjan_vishkin_biconnectivity(g))
+            assert via_dfs == via_tv
+
+
+class TestCosts:
+    def test_work_near_linear(self):
+        g = G.gnm_random_connected_graph(512, 1536, seed=9)
+        t = Tracker()
+        tarjan_vishkin_biconnectivity(g, t)
+        logn = g.n.bit_length()
+        assert t.work <= 40 * (g.n + g.m) * logn
+
+    def test_polylog_span(self):
+        g = G.gnm_random_connected_graph(512, 1536, seed=10)
+        t = Tracker()
+        tarjan_vishkin_biconnectivity(g, t)
+        logn = g.n.bit_length()
+        # TV85 is O(log n) depth on a CRCW PRAM; our substrates add logs
+        assert t.span <= 60 * logn**3

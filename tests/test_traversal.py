@@ -1,0 +1,58 @@
+"""Tests for the sequential traversal helpers (test-support oracles)."""
+
+import pytest
+
+from repro.graph import Graph
+from repro.graph import generators as G
+from repro.graph.traversal import bfs_distances, bfs_tree, reachable_from, tree_path
+
+
+class TestBFS:
+    def test_bfs_tree_parents(self):
+        g = G.path_graph(4)
+        parent = bfs_tree(g, 0)
+        assert parent == [None, 0, 1, 2]
+
+    def test_bfs_tree_unreachable_none(self):
+        g = Graph(4, [(0, 1)])
+        parent = bfs_tree(g, 0)
+        assert parent[2] is None and parent[3] is None
+
+    def test_bfs_distances(self):
+        g = G.cycle_graph(6)
+        d = bfs_distances(g, 0)
+        assert d == [0, 1, 2, 3, 2, 1]
+
+    def test_bfs_distances_unreachable(self):
+        g = Graph(3, [(0, 1)])
+        assert bfs_distances(g, 0)[2] == -1
+
+    def test_reachable_from(self):
+        g = Graph(5, [(0, 1), (1, 2), (3, 4)])
+        assert reachable_from(g, 0) == {0, 1, 2}
+        assert reachable_from(g, 4) == {3, 4}
+
+
+class TestTreePath:
+    def test_straight_chain(self):
+        parent = [None, 0, 1, 2]
+        assert tree_path(parent, 0, 3) == [0, 1, 2, 3]
+        assert tree_path(parent, 3, 0) == [3, 2, 1, 0]
+
+    def test_through_lca(self):
+        #     0
+        #    / \
+        #   1   2
+        #  /     \
+        # 3       4
+        parent = [None, 0, 0, 1, 2]
+        assert tree_path(parent, 3, 4) == [3, 1, 0, 2, 4]
+
+    def test_same_vertex(self):
+        parent = [None, 0]
+        assert tree_path(parent, 1, 1) == [1]
+
+    def test_disjoint_trees_raise(self):
+        parent = [None, None]
+        with pytest.raises(ValueError):
+            tree_path(parent, 0, 1)

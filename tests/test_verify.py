@@ -1,0 +1,181 @@
+"""Tests for the correctness oracles in repro.core.verify."""
+
+import random
+
+from repro.graph import Graph
+from repro.graph import generators as G
+from repro.core.verify import (
+    check_path_collection,
+    explain_dfs_tree,
+    is_initial_segment,
+    is_separator,
+    is_valid_dfs_tree,
+    tree_depths,
+)
+from repro.baselines.sequential import sequential_dfs, sequential_dfs_randomized
+
+
+class TestDFSTreeOracle:
+    def test_sequential_dfs_always_valid(self):
+        rng = random.Random(1)
+        for _ in range(20):
+            n = rng.randrange(2, 60)
+            m = rng.randrange(n - 1, min(3 * n, n * (n - 1) // 2) + 1)
+            g = G.gnm_random_connected_graph(n, m, seed=rng.randrange(1 << 30))
+            root = rng.randrange(n)
+            parent = sequential_dfs(g, root)
+            assert is_valid_dfs_tree(g, root, parent)
+
+    def test_randomized_sequential_dfs_valid(self):
+        rng = random.Random(2)
+        g = G.gnm_random_connected_graph(40, 100, seed=3)
+        for i in range(10):
+            parent = sequential_dfs_randomized(g, 0, random.Random(i))
+            assert is_valid_dfs_tree(g, 0, parent)
+
+    def test_bfs_tree_on_cycle_rejected(self):
+        # a BFS tree of an even cycle has a cross edge at the antipode
+        g = G.cycle_graph(6)
+        parent = {0: None, 1: 0, 5: 0, 2: 1, 4: 5, 3: 2}
+        reason = explain_dfs_tree(g, 0, parent)
+        assert reason is not None and "cross edge" in reason
+
+    def test_path_tree_valid(self):
+        g = G.path_graph(4)
+        parent = {0: None, 1: 0, 2: 1, 3: 2}
+        assert is_valid_dfs_tree(g, 0, parent)
+
+    def test_star_any_order_valid(self):
+        g = G.star_graph(5)
+        parent = {0: None, 1: 0, 2: 0, 3: 0, 4: 0}
+        assert is_valid_dfs_tree(g, 0, parent)
+
+    def test_missing_root(self):
+        g = G.path_graph(3)
+        assert explain_dfs_tree(g, 0, {1: None, 2: 1}) is not None
+
+    def test_root_with_parent(self):
+        g = G.path_graph(3)
+        assert "has a parent" in explain_dfs_tree(
+            g, 0, {0: 1, 1: None, 2: 1}
+        )
+
+    def test_non_spanning(self):
+        g = G.path_graph(4)
+        reason = explain_dfs_tree(g, 0, {0: None, 1: 0})
+        assert "wrong vertex set" in reason
+
+    def test_non_graph_edge(self):
+        g = G.path_graph(4)
+        parent = {0: None, 1: 0, 2: 1, 3: 1}  # (1,3) is not an edge
+        assert "not a graph edge" in explain_dfs_tree(g, 0, parent)
+
+    def test_cycle_in_parent_map(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3), (1, 3)])
+        parent = {0: None, 1: 0, 2: 3, 3: 2}
+        reason = explain_dfs_tree(g, 0, parent)
+        assert reason is not None
+
+    def test_disconnected_component_only(self):
+        g = Graph(5, [(0, 1), (1, 2), (3, 4)])
+        parent = {0: None, 1: 0, 2: 1}
+        assert is_valid_dfs_tree(g, 0, parent)
+
+    def test_tree_depths(self):
+        parent = {0: None, 1: 0, 2: 1, 3: 1}
+        d = tree_depths(parent, 0)
+        assert d == {0: 0, 1: 1, 2: 2, 3: 2}
+
+
+class TestInitialSegment:
+    def test_root_alone(self):
+        g = G.gnm_random_connected_graph(10, 20, seed=1)
+        assert is_initial_segment(g, 0, {0: None})
+
+    def test_single_chain_valid(self):
+        g = G.grid_graph(3, 3)
+        # a chain 0-1-2 down the first row: components outside attach along it
+        assert is_initial_segment(g, 0, {0: None, 1: 0, 2: 1})
+
+    def test_two_branch_violation(self):
+        # grid: branches 0->1 and 0->3 are incomparable, and the outside
+        # component (4,5,7,...) touches both 1 and 3 -> not extendable
+        g = G.grid_graph(3, 3)
+        parent = {0: None, 1: 0, 3: 0}
+        assert not is_initial_segment(g, 0, parent)
+
+    def test_direct_edge_between_incomparable(self):
+        # triangle: 1 and 2 both children of 0, but edge (1,2) exists
+        g = G.complete_graph(3)
+        parent = {0: None, 1: 0, 2: 0}
+        assert not is_initial_segment(g, 0, parent)
+
+    def test_full_dfs_tree_is_initial_segment(self):
+        g = G.gnm_random_connected_graph(30, 70, seed=5)
+        parent = sequential_dfs(g, 0)
+        assert is_initial_segment(g, 0, parent)
+
+    def test_prefix_of_dfs_is_initial_segment(self):
+        # any "currently on the stack"-closed prefix of a DFS is extendable;
+        # the root-to-current-vertex chain always is
+        g = G.gnm_random_connected_graph(25, 60, seed=6)
+        parent = sequential_dfs(g, 0)
+        # take the chain from root to the deepest vertex
+        depths = tree_depths(parent, 0)
+        deepest = max(depths, key=depths.get)
+        chain = {}
+        x = deepest
+        while x is not None:
+            chain[x] = parent[x]
+            x = parent[x]
+        assert is_initial_segment(g, 0, chain)
+
+
+class TestSeparatorOracle:
+    def test_middle_of_path(self):
+        g = G.path_graph(9)
+        assert is_separator(g, {4})
+        assert not is_separator(g, {1})
+
+    def test_empty_separator_small_graph(self):
+        g = Graph(2, [(0, 1)])
+        assert not is_separator(g, set())
+        assert is_separator(g, {0})
+
+    def test_whole_vertex_set(self):
+        g = G.complete_graph(5)
+        assert is_separator(g, set(range(5)))
+
+    def test_grid_column(self):
+        g = G.grid_graph(5, 5)
+        col = {2 + 5 * r for r in range(5)}
+        assert is_separator(g, col)
+
+    def test_empty_graph(self):
+        assert is_separator(Graph(0), set())
+
+
+class TestPathCollectionOracle:
+    def test_valid_paths(self):
+        g = G.grid_graph(3, 3)
+        assert check_path_collection(g, [[0, 1, 2], [3, 4, 5]]) is None
+
+    def test_empty_path(self):
+        g = G.path_graph(3)
+        assert "empty" in check_path_collection(g, [[]])
+
+    def test_repeat_within(self):
+        g = G.cycle_graph(4)
+        assert "repeats" in check_path_collection(g, [[0, 1, 0]])
+
+    def test_overlap_between(self):
+        g = G.path_graph(4)
+        assert "more than one" in check_path_collection(g, [[0, 1], [1, 2]])
+
+    def test_non_edge(self):
+        g = G.path_graph(4)
+        assert "non-edge" in check_path_collection(g, [[0, 2]])
+
+    def test_out_of_range(self):
+        g = G.path_graph(3)
+        assert "out of range" in check_path_collection(g, [[5]])
