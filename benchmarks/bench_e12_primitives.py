@@ -98,7 +98,27 @@ def test_e12_primitives(benchmark):
     rank_rows, am_slope, match_rows = benchmark.pedantic(
         run_experiment, rounds=1, iterations=1
     )
-    publish("e12_primitives", render(rank_rows, am_slope, match_rows))
+    publish(
+        "e12_primitives",
+        render(rank_rows, am_slope, match_rows),
+        data={
+            "list_ranking": [
+                {
+                    "n": n,
+                    "wyllie_work": ww,
+                    "am_work": aw,
+                    "wyllie_span": ws,
+                    "am_span": asp,
+                }
+                for n, ww, _, aw, _, ws, asp in rank_rows
+            ],
+            "am_work_exponent": round(am_slope, 3),
+            "matching": [
+                {"n": n, "m": m, "work": w, "span": s}
+                for n, m, w, _, s in match_rows
+            ],
+        },
+    )
     assert 0.9 <= am_slope <= 1.1  # AM is linear-work
     for n, _, wy_norm, _, am_norm, wy_span, am_span in rank_rows:
         assert wy_norm <= 5

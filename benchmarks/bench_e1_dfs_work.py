@@ -51,7 +51,17 @@ def render(rows, slopes):
 
 def test_e1_work_scaling(benchmark):
     rows, slopes = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
-    publish("e1_dfs_work", render(rows, slopes))
+    publish(
+        "e1_dfs_work",
+        render(rows, slopes),
+        data={
+            "rows": [
+                {"family": f, "n": n, "m": m, "work": w}
+                for f, n, m, w, _ in rows
+            ],
+            "work_exponents": {f: round(s, 3) for f, s in slopes.items()},
+        },
+    )
     for fam, s in slopes.items():
         # near-linear: a genuine m*sqrt(n) law would show ~1.5 here
         assert 0.85 <= s <= 1.35, f"{fam}: work exponent {s}"

@@ -68,7 +68,18 @@ def test_e2_depth_scaling(benchmark):
     rows, slope_par, slope_seq, norm = benchmark.pedantic(
         run_experiment, rounds=1, iterations=1
     )
-    publish("e2_dfs_depth", render(rows, slope_par, slope_seq, norm))
+    publish(
+        "e2_dfs_depth",
+        render(rows, slope_par, slope_seq, norm),
+        data={
+            "rows": [
+                {"n": n, "span_parallel": dp, "span_sequential": ds}
+                for n, dp, ds, _, _ in rows
+            ],
+            "span_exponent_parallel": round(slope_par, 3),
+            "span_exponent_sequential": round(slope_seq, 3),
+        },
+    )
     assert 0.95 <= slope_seq <= 1.05
     # At n <= 8192 the theorem's own log^3 factor makes sqrt(n)*log^3 n grow
     # as ~n^0.8..1.0, indistinguishable from linear within seed noise; the

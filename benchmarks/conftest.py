@@ -8,19 +8,63 @@ written to ``benchmarks/results/<name>.txt`` for EXPERIMENTS.md.
 The measured quantities are work/span from the PRAM tracker (the paper's
 claimed bounds); wall-clock numbers reported by pytest-benchmark time the
 simulation, not the algorithm, and are used only in E14.
+
+Alongside the human-readable tables, the harness maintains one
+machine-readable ledger, ``results/BENCH_PR1.json``: every benchmark test
+gets its wall-clock seconds recorded automatically, and experiments that
+measure tracked work/span can attach those numbers via ``publish(...,
+data=...)`` (or ``publish_json`` directly). Regression tooling diffs this
+file across PRs instead of parsing the text tables.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import time
+
+import pytest
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+BENCH_JSON = os.path.join(RESULTS_DIR, "BENCH_PR1.json")
 
 
-def publish(name: str, text: str) -> None:
-    """Print an experiment's table and persist it under results/."""
+def publish_json(name: str, record: dict) -> None:
+    """Merge ``record`` under ``name`` in the machine-readable ledger."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    try:
+        with open(BENCH_JSON) as fh:
+            data = json.load(fh)
+    except (FileNotFoundError, json.JSONDecodeError):
+        data = {}
+    data.setdefault(name, {}).update(record)
+    with open(BENCH_JSON, "w") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def publish(name: str, text: str, data: dict | None = None) -> None:
+    """Print an experiment's table and persist it under results/.
+
+    ``data``, when given, is merged into ``BENCH_PR1.json`` under the
+    experiment's name — use it for the tracked work/span numbers the
+    text table reports, so regressions are diffable by machine.
+    """
     os.makedirs(RESULTS_DIR, exist_ok=True)
     banner = f"\n===== {name} =====\n{text}\n"
     print(banner)
     with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as fh:
         fh.write(text + "\n")
+    if data is not None:
+        publish_json(name, data)
+
+
+@pytest.fixture(autouse=True)
+def _bench_walltime(request):
+    """Record every benchmark test's wall-clock in the JSON ledger."""
+    t0 = time.perf_counter()
+    yield
+    publish_json(
+        request.node.name,
+        {"wall_s": round(time.perf_counter() - t0, 3)},
+    )

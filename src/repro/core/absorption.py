@@ -83,6 +83,7 @@ def absorb_separator(
     t: Tracker | None = None,
     rng: random.Random | None = None,
     backend: str = "rc",
+    kernel_backend: str | None = None,
 ) -> AbsorptionOutcome:
     """Theorem 3.2 over the component graph ``g`` (local ids).
 
@@ -90,6 +91,9 @@ def absorb_separator(
     DFS maps, written through ``to_global`` (identity if None). ``seeds``
     are inherited "(local v, global tree vertex, depth)" adjacency facts.
     The root's own global parent/depth entries must already be set.
+    ``backend`` picks the Lemma 5.1 structure ("rc" | "linkcut");
+    ``kernel_backend`` the execution engine for list ranking
+    ("tracked" | "numpy", :mod:`repro.kernels.dispatch`).
     """
     t = t if t is not None else Tracker()
     rng = rng if rng is not None else random.Random(0xAB5)
@@ -173,7 +177,8 @@ def absorb_separator(
             prev = w
         t.charge(len(chain), 1)
         ranks = prefix_sums_on_lists(
-            t, chain, prev_of, lambda w: 1, method="anderson-miller", rng=rng
+            t, chain, prev_of, lambda w: 1, method="anderson-miller", rng=rng,
+            backend=kernel_backend,
         )
 
         chain_depths: dict[int, int] = {}

@@ -62,12 +62,17 @@ def parallel_dfs(
     backend: str = "rc",
     neighbor_structure: str = "tournament",
     verify: bool = False,
+    kernel_backend: str | None = None,
 ) -> DFSResult:
     """Theorem 1.1: a DFS tree of ``g`` rooted at ``root``.
 
     Õ(m+n) work and Õ(√n) depth in the tracked cost model. The tree spans
     exactly the connected component of ``root``. With ``verify=True`` the
     result is checked against the DFS-tree oracle before returning.
+    ``backend`` picks the Lemma 5.1 absorption structure ("rc" |
+    "linkcut"); ``kernel_backend`` the execution engine for the
+    list-ranking/matching/scan subroutines ("tracked", the measurement
+    instrument, or "numpy", the vectorized kernels — see docs/kernels.md).
     """
     t = tracker if tracker is not None else Tracker()
     rng = rng if rng is not None else random.Random(0xDF5)
@@ -130,7 +135,7 @@ def parallel_dfs(
 
         sep = build_separator(
             sub, t, rng, target_factor=separator_factor,
-            neighbor_structure=neighbor_structure,
+            neighbor_structure=neighbor_structure, backend=kernel_backend,
         )
         stats["separator_rounds"] += sep.rounds
 
@@ -153,6 +158,7 @@ def parallel_dfs(
             t=t,
             rng=rng,
             backend=backend,
+            kernel_backend=kernel_backend,
         )
         stats["absorb_iterations"] += outcome.iterations
 

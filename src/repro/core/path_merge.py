@@ -82,6 +82,7 @@ def merge_paths(
     rng: random.Random,
     threshold: float | None = None,
     neighbor_structure: str = "tournament",
+    backend: str | None = None,
 ) -> MergeResult:
     """Run the Section 4.2 path-merging process. Returns the final states.
 
@@ -89,6 +90,8 @@ def merge_paths(
     (default ``sqrt(g.n)``; ablation E4 sweeps it).
     ``neighbor_structure`` selects the Lemma 4.5 structure ("tournament",
     the paper's) or the rescanning baseline ("naive", GPV88-style; E9/E5).
+    ``backend`` selects the kernel engine for the inner Luby matchings
+    ("tracked" | "numpy", see :mod:`repro.kernels.dispatch`).
     """
     n = g.n
     if threshold is None:
@@ -205,7 +208,7 @@ def merge_paths(
             nl = len(left_ids)
             h_edges = [(left_ids[li], nl + cand_ids[v]) for li, v in raw]
             chosen = maximal_matching(
-                t, nl + len(cand_ids), h_edges, rng
+                t, nl + len(cand_ids), h_edges, rng, backend=backend
             )
             # apply matches
             inv_left = {a: li for li, a in left_ids.items()}

@@ -89,6 +89,7 @@ def _assemble_merged(
     res: MergeResult,
     short_paths: list[list[int]],
     rng: random.Random,
+    backend: str | None = None,
 ) -> tuple[list[list[int]], list[list[int]]]:
     """Commit the merge: returns (merged long paths, remaining shorts)."""
     # rank the joined shorts simultaneously (Lemma 2.4, as Section 4.1.2
@@ -105,7 +106,8 @@ def _assemble_merged(
             prev = v
     t.charge(len(vertices), log2_ceil(max(2, len(vertices) + 2)) + 1)
     ranks = prefix_sums_on_lists(
-        t, vertices, prev_of, lambda v: 1, method="anderson-miller", rng=rng
+        t, vertices, prev_of, lambda v: 1, method="anderson-miller", rng=rng,
+        backend=backend,
     )
 
     merged_longs: list[list[int]] = []
@@ -169,6 +171,7 @@ def reduce_paths(
     goal: float,
     max_inner: int | None = None,
     neighbor_structure: str = "tournament",
+    backend: str | None = None,
 ) -> list[list[int]]:
     """Reduce the number of separator paths toward ``goal``.
 
@@ -205,7 +208,7 @@ def reduce_paths(
         threshold = max(1.0, min(n ** 0.5, k / 8))
         res = merge_paths(
             g, t, long_paths, short_paths, rng, threshold,
-            neighbor_structure=neighbor_structure,
+            neighbor_structure=neighbor_structure, backend=backend,
         )
 
         if res.steps == 0:
@@ -227,7 +230,7 @@ def reduce_paths(
             break
 
         merged_longs, remaining_shorts = _assemble_merged(
-            g, t, res, short_paths, rng
+            g, t, res, short_paths, rng, backend=backend
         )
         committed = merged_longs + remaining_shorts
         if paths_form_separator(g, t, committed):

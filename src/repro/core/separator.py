@@ -45,12 +45,15 @@ def build_separator(
     target_factor: float = 4.0,
     verify: bool = False,
     neighbor_structure: str = "tournament",
+    backend: str | None = None,
 ) -> SeparatorResult:
     """Theorem 3.1: an O(√n)-path separator of the connected graph ``g``.
 
     Each path is a simple path of ``g``; their union separates ``g``
     (largest remaining component ≤ n/2). With ``verify=True`` the separator
-    property is re-checked after every round (tests).
+    property is re-checked after every round (tests). ``backend`` selects
+    the kernel engine ("tracked" | "numpy") for the list-ranking and
+    matching subroutines of every reduction round.
     """
     t = t if t is not None else Tracker()
     rng = rng if rng is not None else random.Random(0x3EA)
@@ -68,7 +71,8 @@ def build_separator(
         if rounds > max_rounds:
             raise RuntimeError("separator construction did not converge")
         new_paths = reduce_paths(
-            g, t, paths, rng, goal, neighbor_structure=neighbor_structure
+            g, t, paths, rng, goal, neighbor_structure=neighbor_structure,
+            backend=backend,
         )
         if verify:
             assert paths_form_separator(g, t, new_paths), (

@@ -26,25 +26,26 @@ class CSRGraph:
     def __init__(self, g: Graph) -> None:
         self.n = g.n
         self.m = g.m
-        degrees = np.fromiter(
-            (len(g.adj[v]) for v in range(g.n)), dtype=np.int64, count=g.n
-        )
-        self.indptr = np.zeros(g.n + 1, dtype=np.int64)
-        np.cumsum(degrees, out=self.indptr[1:])
-        self.indices = np.empty(2 * g.m, dtype=np.int64)
-        cursor = self.indptr[:-1].copy()
-        for v in range(g.n):
-            nbrs = g.adj[v]
-            k = len(nbrs)
-            if k:
-                self.indices[cursor[v] : cursor[v] + k] = nbrs
         #: canonical edge endpoint arrays (u < v)
         if g.m:
-            eu, ev = zip(*g.edges)
+            edges = np.asarray(g.edges, dtype=np.int64)
+            self.edge_u = np.ascontiguousarray(edges[:, 0])
+            self.edge_v = np.ascontiguousarray(edges[:, 1])
         else:
-            eu, ev = (), ()
-        self.edge_u = np.asarray(eu, dtype=np.int64)
-        self.edge_v = np.asarray(ev, dtype=np.int64)
+            self.edge_u = np.empty(0, dtype=np.int64)
+            self.edge_v = np.empty(0, dtype=np.int64)
+        # adjacency by argsort of the doubled endpoint arrays: each edge
+        # contributes the arcs u->v and v->u; a stable sort on the source
+        # groups every vertex's neighbors contiguously (all numpy, no
+        # per-vertex Python fill loop). Neighbor order within a block is
+        # by (endpoint role, edge id), not Graph.adj insertion order —
+        # nothing in the package depends on CSR block order.
+        src = np.concatenate([self.edge_u, self.edge_v])
+        dst = np.concatenate([self.edge_v, self.edge_u])
+        self.indptr = np.zeros(g.n + 1, dtype=np.int64)
+        if g.n:
+            np.cumsum(np.bincount(src, minlength=g.n), out=self.indptr[1:])
+        self.indices = dst[np.argsort(src, kind="stable")]
 
     # ------------------------------------------------------------------
     def neighbors(self, v: int) -> np.ndarray:

@@ -30,7 +30,16 @@ class Graph:
         deduplicated).
     """
 
-    __slots__ = ("n", "edges", "adj", "adj_eids", "_edge_set")
+    __slots__ = (
+        "n",
+        "edges",
+        "adj",
+        "adj_eids",
+        "_edge_set",
+        "_mutations",
+        "_csr_cache",
+        "_csr_mutations",
+    )
 
     def __init__(
         self,
@@ -47,6 +56,10 @@ class Graph:
         #: adj_eids[v][i] is the edge id of the edge to adj[v][i].
         self.adj_eids: list[list[int]] = [[] for _ in range(n)]
         self._edge_set: set[tuple[int, int]] = set()
+        #: mutation counter; the cached CSR view is keyed on it
+        self._mutations = 0
+        self._csr_cache = None
+        self._csr_mutations = -1
         for u, v in edges:
             self._add_edge(u, v, allow_multi)
 
@@ -61,6 +74,7 @@ class Graph:
                 return
             raise ValueError(f"duplicate edge {key}")
         eid = len(self.edges)
+        self._mutations += 1
         self._edge_set.add(key)
         self.edges.append(key)
         self.adj[u].append(v)
@@ -97,6 +111,21 @@ class Graph:
 
     def vertices(self) -> range:
         return range(self.n)
+
+    def csr(self):
+        """The numpy CSR view of this graph, cached.
+
+        Repeated phases (kernel rounds, verification sweeps) share one
+        :class:`~repro.graph.csr.CSRGraph`; the cache is invalidated by
+        the mutation counter, so a graph still under construction (or one
+        a subclass mutates) never serves a stale view.
+        """
+        if self._csr_cache is None or self._csr_mutations != self._mutations:
+            from .csr import CSRGraph
+
+            self._csr_cache = CSRGraph(self)
+            self._csr_mutations = self._mutations
+        return self._csr_cache
 
     def __iter__(self) -> Iterator[tuple[int, int]]:
         return iter(self.edges)

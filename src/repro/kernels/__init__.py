@@ -1,0 +1,44 @@
+"""Vectorized numpy kernel backend for the PRAM hot paths.
+
+The tracked implementations under :mod:`repro.pram`, :mod:`repro.listrank`
+and :mod:`repro.matching` are the *measurement instrument*: per-element
+Python closures charging every elementary operation to the
+:class:`~repro.pram.tracker.Tracker`, so the reported work/span are exactly
+the quantities the paper's theorems bound. They are also orders of
+magnitude slower than the hardware allows.
+
+This package is the *execution engine*: each round-structured hot path —
+scans and reductions, Wyllie pointer jumping (Lemma 2.4), Luby
+local-minimum matching rounds (Lemma 2.5), Euler-tour successor
+construction — re-expressed as whole-array numpy kernels. A kernel runs
+the same synchronous round structure (a round becomes one batch of
+gathers/scatters over int64 arrays) and charges the Tracker *aggregate*
+work and span per round, so a run under the numpy backend still produces
+meaningful asymptotic counts while its wall clock is dominated by C loops.
+
+Backend selection is handled by :mod:`repro.kernels.dispatch`; the
+instrumented entry points (``pram.primitives``, ``listrank.ranking``,
+``matching.luby``, and the ``core`` drivers) accept ``backend="tracked"``
+(default) or ``backend="numpy"`` and delegate here. See docs/kernels.md.
+"""
+
+from .dispatch import (
+    BACKENDS,
+    default_backend,
+    resolve_backend,
+    set_default_backend,
+    use_backend,
+)
+from . import scan, listrank, matching, euler
+
+__all__ = [
+    "BACKENDS",
+    "default_backend",
+    "resolve_backend",
+    "set_default_backend",
+    "use_backend",
+    "scan",
+    "listrank",
+    "matching",
+    "euler",
+]

@@ -1,0 +1,86 @@
+"""Backend dispatch for the kernel subsystem.
+
+Two backends exist:
+
+* ``"tracked"`` — the per-element instrumented Python implementations
+  (the measurement instrument; exact work/span accounting);
+* ``"numpy"`` — the vectorized batch kernels in this package (the fast
+  execution engine; aggregate work/span accounting).
+
+Resolution order for an entry point's ``backend`` argument:
+
+1. an explicit ``backend="tracked"|"numpy"`` wins;
+2. a process-wide default installed with :func:`set_default_backend` or
+   the :func:`use_backend` context manager;
+3. the ``REPRO_KERNEL_BACKEND`` environment variable;
+4. ``"tracked"`` (so the seed's measured counts are bit-for-bit
+   unchanged unless a caller opts in).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = [
+    "BACKENDS",
+    "TRACKED",
+    "NUMPY",
+    "default_backend",
+    "set_default_backend",
+    "use_backend",
+    "resolve_backend",
+]
+
+TRACKED = "tracked"
+NUMPY = "numpy"
+BACKENDS = (TRACKED, NUMPY)
+
+_ENV_VAR = "REPRO_KERNEL_BACKEND"
+
+#: process-wide override; None = fall through to the environment
+_default: str | None = None
+
+
+def _validate(name: str) -> str:
+    if name not in BACKENDS:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; expected one of {BACKENDS}"
+        )
+    return name
+
+
+def default_backend() -> str:
+    """The backend used when an entry point gets ``backend=None``."""
+    if _default is not None:
+        return _default
+    env = os.environ.get(_ENV_VAR)
+    if env:
+        return _validate(env)
+    return TRACKED
+
+
+def set_default_backend(name: str | None) -> None:
+    """Install (or with None, clear) the process-wide default backend."""
+    global _default
+    _default = _validate(name) if name is not None else None
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[None]:
+    """Temporarily switch the process-wide default backend (tests)."""
+    global _default
+    prev = _default
+    _default = _validate(name)
+    try:
+        yield
+    finally:
+        _default = prev
+
+
+def resolve_backend(backend: str | None) -> str:
+    """Resolve an entry point's ``backend`` argument to a concrete name."""
+    if backend is None:
+        return default_backend()
+    return _validate(backend)

@@ -1,0 +1,111 @@
+"""Vectorized list ranking (Lemma 2.4) — Wyllie pointer jumping on arrays.
+
+The tracked implementations in :mod:`repro.listrank.ranking` walk dicts
+with per-element closures; here the same synchronous rounds become two
+gathers and two blends over ``int64`` arrays::
+
+    rank += where(live, rank[ptr], 0)
+    ptr   = where(live, ptr[ptr], -1)
+
+``O(log L)`` rounds over a union of disjoint lists of total length ``L``
+(``-1`` marks a head). Wyllie's extra log factor in *work* is irrelevant
+on this backend — each round is a constant number of memory-bandwidth
+passes — so the numpy engine always runs Wyllie, regardless of which
+tracked method (``"wyllie"`` / ``"anderson-miller"``) the caller named:
+both compute the exact same prefix sums, and the tracked Anderson–Miller
+path remains the work-efficiency measurement instrument.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..pram.tracker import Tracker, log2_ceil
+
+__all__ = ["wyllie_ranks", "prefix_sums_on_lists_np"]
+
+
+def wyllie_ranks(
+    prev: np.ndarray, values: np.ndarray, t: Tracker | None = None
+) -> np.ndarray:
+    """Prefix sums over disjoint lists given as a predecessor array.
+
+    ``prev[i]`` is the index of ``i``'s predecessor, or ``-1`` at a list
+    head; ``values[i]`` its value. Returns ``rank`` with
+    ``rank[i] = sum of values from i's head through i``.
+    """
+    rank = np.asarray(values, dtype=np.int64).copy()
+    ptr = np.asarray(prev, dtype=np.int64).copy()
+    n = rank.size
+    if n == 0:
+        return rank
+    if ptr.size != n:
+        raise ValueError("prev and values must have equal length")
+    if ((ptr < -1) | (ptr >= n)).any():
+        raise ValueError("prev entries must be -1 or valid indices")
+    rounds = 0
+    while True:
+        live = ptr >= 0
+        if not live.any():
+            break
+        rounds += 1
+        if rounds > n.bit_length() + 2:  # L halves per round: impossible
+            raise RuntimeError("wyllie pointer jumping failed to converge")
+        safe = np.where(live, ptr, 0)
+        rank += np.where(live, rank[safe], 0)
+        ptr = np.where(live, ptr[safe], -1)
+    if t is not None:
+        # the tracked Wyllie charges O(L) per round at O(1) span + fork
+        t.charge(max(1, rounds) * n + n, (rounds + 1) * (log2_ceil(max(2, n)) + 1))
+    return rank
+
+
+def prefix_sums_on_lists_np(
+    t: Tracker | None,
+    vertices: Sequence[int],
+    prev_of: Mapping[int, int | None],
+    value_of: Callable[[int], int],
+) -> dict[int, int]:
+    """Drop-in for :func:`repro.listrank.ranking.prefix_sums_on_lists`.
+
+    Same contract: ``prev_of`` gives each vertex's predecessor (``None``
+    at heads; predecessors outside ``vertices`` are treated as absent, so
+    a caller can rank a suffix of a list). Returns ``{vertex: rank}``.
+    """
+    vs = list(vertices)
+    if not vs:
+        return {}
+    k = len(vs)
+    ids = np.fromiter(vs, dtype=np.int64, count=k)
+    values = np.fromiter(map(value_of, vs), dtype=np.int64, count=k)
+    lo = int(ids.min())
+    hi = int(ids.max())
+    # encode "no predecessor" as lo-1: it is never a member id, and a
+    # real predecessor that happens to equal lo-1 lies outside
+    # ``vertices`` anyway, so both map to -1 below — exactly the
+    # "absent predecessor" contract
+    sentinel = lo - 1
+    prev_raw = np.fromiter(
+        (sentinel if p is None else p for p in map(prev_of.get, vs)),
+        dtype=np.int64,
+        count=k,
+    )
+    # map global predecessor ids to local positions (predecessors
+    # outside ``vertices`` stay -1): a scatter lookup table when the ids
+    # are non-negative and dense enough, binary search otherwise
+    if lo >= 0 and hi < max(16 * k, 1 << 20):
+        lut = np.full(hi + 1, -1, dtype=np.int64)
+        lut[ids] = np.arange(k, dtype=np.int64)
+        in_range = (prev_raw >= 0) & (prev_raw <= hi)
+        prev = np.where(in_range, lut[np.where(in_range, prev_raw, 0)], -1)
+    else:
+        order = np.argsort(ids, kind="stable")
+        sorted_ids = ids[order]
+        pos = np.searchsorted(sorted_ids, prev_raw)
+        pos_c = np.minimum(pos, k - 1)
+        found = sorted_ids[pos_c] == prev_raw
+        prev = np.where(found, order[pos_c], -1)
+    ranks = wyllie_ranks(prev, values, t)
+    return dict(zip(vs, ranks.tolist()))

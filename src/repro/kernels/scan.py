@@ -1,0 +1,91 @@
+"""Vectorized scans, reductions, and stream compaction.
+
+Array counterparts of :mod:`repro.pram.primitives`. Each kernel performs
+the whole primitive as a handful of numpy calls and charges the tracker
+the *aggregate* cost of the round structure it replaces — ``O(n)`` work
+and ``O(log n)`` span — so backend-switched runs still report meaningful
+asymptotic totals (DESIGN.md §2's substitution argument, one level up:
+``np.cumsum`` substitutes for the Blelloch up/down sweep it is
+semantically equal to).
+
+All kernels accept anything ``np.asarray`` understands and return numpy
+arrays (``int64`` for the integer primitives); the dispatch layer in
+:mod:`repro.pram.primitives` converts back to the tracked return types.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..pram.tracker import Tracker, log2_ceil
+
+__all__ = [
+    "exclusive_scan",
+    "inclusive_scan",
+    "reduce_sum",
+    "reduce_max",
+    "reduce_min",
+    "pack",
+    "pack_index",
+]
+
+
+def _charge_linear(t: Tracker | None, n: int, passes: int = 1) -> None:
+    """Charge a linear-work, logarithmic-span primitive over n elements."""
+    if t is not None and n:
+        t.charge(passes * n, passes * (log2_ceil(max(2, n)) + 1))
+
+
+def exclusive_scan(t: Tracker | None, xs) -> np.ndarray:
+    """``out[i] = sum(xs[:i])`` — the Blelloch scan as one cumsum."""
+    arr = np.asarray(xs, dtype=np.int64)
+    out = np.zeros_like(arr)
+    if arr.size > 1:
+        np.cumsum(arr[:-1], out=out[1:])
+    _charge_linear(t, arr.size, passes=2)  # up-sweep + down-sweep
+    return out
+
+
+def inclusive_scan(t: Tracker | None, xs) -> np.ndarray:
+    arr = np.asarray(xs, dtype=np.int64)
+    _charge_linear(t, arr.size, passes=2)
+    return np.cumsum(arr)
+
+
+def reduce_sum(t: Tracker | None, xs) -> int:
+    arr = np.asarray(xs, dtype=np.int64)
+    _charge_linear(t, arr.size)
+    return int(arr.sum()) if arr.size else 0
+
+
+def reduce_max(t: Tracker | None, xs) -> int:
+    arr = np.asarray(xs, dtype=np.int64)
+    if arr.size == 0:
+        raise ValueError("reduce_max of empty sequence")
+    _charge_linear(t, arr.size)
+    return int(arr.max())
+
+
+def reduce_min(t: Tracker | None, xs) -> int:
+    arr = np.asarray(xs, dtype=np.int64)
+    if arr.size == 0:
+        raise ValueError("reduce_min of empty sequence")
+    _charge_linear(t, arr.size)
+    return int(arr.min())
+
+
+def pack(t: Tracker | None, xs, flags) -> np.ndarray:
+    """Keep ``xs[i]`` where ``flags[i]`` (scan + scatter as one mask)."""
+    arr = np.asarray(xs)
+    mask = np.asarray(flags, dtype=bool)
+    if arr.shape[0] != mask.shape[0]:
+        raise ValueError("xs and flags must have equal length")
+    _charge_linear(t, mask.size, passes=2)  # scan + scatter
+    return arr[mask]
+
+
+def pack_index(t: Tracker | None, flags) -> np.ndarray:
+    """Indices ``i`` with ``flags[i]`` set, in order."""
+    mask = np.asarray(flags, dtype=bool)
+    _charge_linear(t, mask.size, passes=2)
+    return np.flatnonzero(mask)

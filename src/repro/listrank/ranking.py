@@ -242,8 +242,23 @@ def prefix_sums_on_lists(
     value_of: Callable[[int], int],
     method: str = "anderson-miller",
     rng: random.Random | None = None,
+    backend: str | None = None,
 ) -> dict[int, int]:
-    """Lemma 2.4 entry point: prefix sums on a union of disjoint lists."""
+    """Lemma 2.4 entry point: prefix sums on a union of disjoint lists.
+
+    ``backend="numpy"`` runs the vectorized Wyllie kernel
+    (:mod:`repro.kernels.listrank`) regardless of ``method`` — both
+    methods compute the exact same ranks, and on whole-array rounds
+    Wyllie's extra log factor of work costs only memory bandwidth. The
+    default ``"tracked"`` backend keeps the instrumented implementations
+    below as the work/span measurement instrument.
+    """
+    from ..kernels.dispatch import resolve_backend
+
+    if resolve_backend(backend) == "numpy":
+        from ..kernels.listrank import prefix_sums_on_lists_np
+
+        return prefix_sums_on_lists_np(t, vertices, prev_of, value_of)
     if method == "wyllie":
         return wyllie_prefix_sums(t, vertices, prev_of, value_of)
     if method == "anderson-miller":

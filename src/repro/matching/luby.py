@@ -33,12 +33,25 @@ def maximal_matching(
     n: int,
     edges: Sequence[tuple[int, int]],
     rng: random.Random | None = None,
+    backend: str | None = None,
 ) -> list[int]:
     """Return edge indices of a maximal matching of ``(n, edges)``.
 
     ``edges`` may contain edges of a bipartite selection graph (Section 4.3)
     or any simple undirected graph; vertex ids must be < n.
+
+    ``backend="numpy"`` runs the vectorized round kernel
+    (:mod:`repro.kernels.matching`): same local-minimum round structure,
+    whole-array execution, aggregate tracker accounting. The returned
+    matching is maximal under either backend but generally differs edge
+    for edge (independent random priorities).
     """
+    from ..kernels.dispatch import resolve_backend
+
+    if resolve_backend(backend) == "numpy":
+        from ..kernels.matching import maximal_matching_np
+
+        return maximal_matching_np(t, n, edges, rng)
     rng = rng if rng is not None else random.Random(0xA11CE)
     matched = [False] * n
     t.charge(n, 1)

@@ -13,6 +13,7 @@ thread-pool numbers for the curious.
 
 from __future__ import annotations
 
+import math
 import os
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Sequence, TypeVar
@@ -24,7 +25,14 @@ __all__ = ["run_parallel", "default_workers"]
 
 
 def default_workers() -> int:
-    """A sensible default worker count for demo runs."""
+    """A sensible default worker count for demo runs.
+
+    The ``REPRO_WORKERS`` environment variable overrides the heuristic
+    (useful for benchmarking the pool at fixed width on shared boxes).
+    """
+    env = os.environ.get("REPRO_WORKERS")
+    if env:
+        return max(1, int(env))
     return min(8, os.cpu_count() or 1)
 
 
@@ -32,11 +40,14 @@ def run_parallel(
     items: Sequence[T],
     fn: Callable[[T], R],
     workers: int | None = None,
+    chunksize: int | None = None,
 ) -> list[R]:
     """Apply ``fn`` to each item using a thread pool, preserving order.
 
     Falls back to a plain loop for tiny inputs where pool overhead
-    dominates.
+    dominates. Work items are dispatched in chunks of
+    ``ceil(n / (4 * workers))`` by default — enough slices for the pool
+    to balance, few enough that per-item future overhead is amortized.
     """
     n = len(items)
     if n == 0:
@@ -44,5 +55,15 @@ def run_parallel(
     w = workers if workers is not None else default_workers()
     if w <= 1 or n < 4:
         return [fn(it) for it in items]
+    if chunksize is None:
+        chunksize = max(1, math.ceil(n / (4 * w)))
+    chunks = [items[i : i + chunksize] for i in range(0, n, chunksize)]
+
+    def run_chunk(chunk: Sequence[T]) -> list[R]:
+        return [fn(it) for it in chunk]
+
     with ThreadPoolExecutor(max_workers=w) as pool:
-        return list(pool.map(fn, items))
+        out: list[R] = []
+        for part in pool.map(run_chunk, chunks):
+            out.extend(part)
+        return out

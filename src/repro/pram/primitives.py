@@ -9,6 +9,11 @@ algorithm, not an assumed bound.
 
 All primitives take the :class:`~repro.pram.tracker.Tracker` first and plain
 Python lists (the PRAM's shared memory).
+
+The array-shaped primitives additionally accept ``backend="tracked"``
+(default — the instrumented round structure below, exact counts) or
+``backend="numpy"`` (the vectorized kernels in :mod:`repro.kernels.scan`,
+aggregate counts); return types are identical either way.
 """
 
 from __future__ import annotations
@@ -32,6 +37,18 @@ __all__ = [
     "parallel_map",
     "argmin_by",
 ]
+
+
+def _resolve(backend: str | None) -> str:
+    from ..kernels.dispatch import resolve_backend
+
+    return resolve_backend(backend)
+
+
+def _numpy_scan():
+    from ..kernels import scan
+
+    return scan
 
 
 def reduce(t: Tracker, xs: Sequence[T], combine: Callable[[T, T], T], identity: T) -> T:
@@ -59,28 +76,44 @@ def reduce(t: Tracker, xs: Sequence[T], combine: Callable[[T, T], T], identity: 
     return cur[0]
 
 
-def reduce_sum(t: Tracker, xs: Sequence[int]) -> int:
+def reduce_sum(
+    t: Tracker, xs: Sequence[int], backend: str | None = None
+) -> int:
+    if _resolve(backend) == "numpy":
+        return _numpy_scan().reduce_sum(t, xs)
     return reduce(t, xs, lambda a, b: a + b, 0)
 
 
-def reduce_max(t: Tracker, xs: Sequence[int]) -> int:
+def reduce_max(
+    t: Tracker, xs: Sequence[int], backend: str | None = None
+) -> int:
     if not xs:
         raise ValueError("reduce_max of empty sequence")
+    if _resolve(backend) == "numpy":
+        return _numpy_scan().reduce_max(t, xs)
     return reduce(t, xs, lambda a, b: a if a >= b else b, xs[0])
 
 
-def reduce_min(t: Tracker, xs: Sequence[int]) -> int:
+def reduce_min(
+    t: Tracker, xs: Sequence[int], backend: str | None = None
+) -> int:
     if not xs:
         raise ValueError("reduce_min of empty sequence")
+    if _resolve(backend) == "numpy":
+        return _numpy_scan().reduce_min(t, xs)
     return reduce(t, xs, lambda a, b: a if a <= b else b, xs[0])
 
 
-def exclusive_scan(t: Tracker, xs: Sequence[int]) -> list[int]:
+def exclusive_scan(
+    t: Tracker, xs: Sequence[int], backend: str | None = None
+) -> list[int]:
     """Blelloch exclusive prefix-sum: ``O(n)`` work, ``O(log n)`` span.
 
     Returns ``out`` with ``out[i] = sum(xs[:i])``; ``out`` has the same
     length as ``xs``.
     """
+    if _resolve(backend) == "numpy":
+        return _numpy_scan().exclusive_scan(t, xs).tolist()
     n = len(xs)
     t.op(1)
     if n == 0:
@@ -122,8 +155,12 @@ def exclusive_scan(t: Tracker, xs: Sequence[int]) -> list[int]:
     return a[:n]
 
 
-def inclusive_scan(t: Tracker, xs: Sequence[int]) -> list[int]:
+def inclusive_scan(
+    t: Tracker, xs: Sequence[int], backend: str | None = None
+) -> list[int]:
     """Inclusive prefix-sum built from the exclusive scan."""
+    if _resolve(backend) == "numpy":
+        return _numpy_scan().inclusive_scan(t, xs).tolist()
     ex = exclusive_scan(t, xs)
 
     def add(i: int) -> int:
@@ -133,13 +170,21 @@ def inclusive_scan(t: Tracker, xs: Sequence[int]) -> list[int]:
     return t.parallel_for(range(len(xs)), add)
 
 
-def pack(t: Tracker, xs: Sequence[T], flags: Sequence[bool]) -> list[T]:
+def pack(
+    t: Tracker,
+    xs: Sequence[T],
+    flags: Sequence[bool],
+    backend: str | None = None,
+) -> list[T]:
     """Stream compaction: keep ``xs[i]`` where ``flags[i]``.
 
     ``O(n)`` work, ``O(log n)`` span (scan + scatter).
     """
     if len(xs) != len(flags):
         raise ValueError("xs and flags must have equal length")
+    if _resolve(backend) == "numpy":
+        # select through an index kernel: keeps element identity for any T
+        return [xs[i] for i in _numpy_scan().pack_index(t, flags)]
     idx = exclusive_scan(t, [1 if f else 0 for f in flags])
     total = (idx[-1] + (1 if flags[-1] else 0)) if xs else 0
     out: list[T] = [None] * total  # type: ignore[list-item]
@@ -153,8 +198,12 @@ def pack(t: Tracker, xs: Sequence[T], flags: Sequence[bool]) -> list[T]:
     return out
 
 
-def pack_index(t: Tracker, flags: Sequence[bool]) -> list[int]:
+def pack_index(
+    t: Tracker, flags: Sequence[bool], backend: str | None = None
+) -> list[int]:
     """Indices ``i`` with ``flags[i]`` set, in order."""
+    if _resolve(backend) == "numpy":
+        return _numpy_scan().pack_index(t, flags).tolist()
     return pack(t, list(range(len(flags))), flags)
 
 

@@ -1,0 +1,417 @@
+"""Parity tests: every numpy kernel against its tracked Python reference.
+
+The numpy backend is an execution engine, not a new algorithm — each
+kernel must return exactly what the tracked implementation returns
+(scans, ranks) or an equally valid result under the problem's own oracle
+(matchings, which draw different random priorities). These tests run
+random lists/graphs plus the degenerate shapes (empty, singleton,
+all-isolated-vertex) through both backends, and check the dispatch layer
+resolves backends in the documented priority order.
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import Graph
+from repro.graph import generators as G
+from repro.kernels import dispatch, euler, listrank, matching, scan
+from repro.kernels.dispatch import resolve_backend, set_default_backend, use_backend
+from repro.listrank.ranking import (
+    prefix_sums_on_lists,
+    sequential_prefix_sums,
+)
+from repro.matching.luby import is_maximal_matching, maximal_matching
+from repro.pram import Tracker, primitives
+
+
+# ----------------------------------------------------------------------
+# dispatch layer
+# ----------------------------------------------------------------------
+
+class TestDispatch:
+    def test_default_is_tracked(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL_BACKEND", raising=False)
+        set_default_backend(None)
+        assert resolve_backend(None) == "tracked"
+
+    def test_explicit_wins(self):
+        assert resolve_backend("numpy") == "numpy"
+        assert resolve_backend("tracked") == "tracked"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "numpy")
+        set_default_backend(None)
+        assert resolve_backend(None) == "numpy"
+
+    def test_process_default_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "numpy")
+        set_default_backend("tracked")
+        try:
+            assert resolve_backend(None) == "tracked"
+        finally:
+            set_default_backend(None)
+
+    def test_use_backend_scopes_and_restores(self):
+        before = resolve_backend(None)
+        with use_backend("numpy"):
+            assert resolve_backend(None) == "numpy"
+        assert resolve_backend(None) == before
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_backend("cuda")
+        with pytest.raises(ValueError):
+            set_default_backend("cuda")
+
+    def test_entry_points_pick_requested_backend(self):
+        # the numpy scan kernel returns identical values but charges
+        # different (aggregate) costs — distinguish the backends by cost
+        xs = list(range(64))
+        t_tracked, t_numpy = Tracker(), Tracker()
+        a = primitives.exclusive_scan(t_tracked, xs, backend="tracked")
+        b = primitives.exclusive_scan(t_numpy, xs, backend="numpy")
+        assert a == b
+        assert t_tracked.work != t_numpy.work  # different engines ran
+
+
+# ----------------------------------------------------------------------
+# scan / reduce / pack
+# ----------------------------------------------------------------------
+
+class TestScanParity:
+    @given(st.lists(st.integers(-1000, 1000), max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_scans_match_tracked(self, xs):
+        t1, t2 = Tracker(), Tracker()
+        assert (
+            primitives.exclusive_scan(t1, xs)
+            == primitives.exclusive_scan(t2, xs, backend="numpy")
+        )
+        assert (
+            primitives.inclusive_scan(t1, xs)
+            == primitives.inclusive_scan(t2, xs, backend="numpy")
+        )
+        assert primitives.reduce_sum(t1, xs) == primitives.reduce_sum(
+            t2, xs, backend="numpy"
+        )
+
+    @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_min_max_match_tracked(self, xs):
+        t = Tracker()
+        assert primitives.reduce_max(t, xs, backend="numpy") == max(xs)
+        assert primitives.reduce_min(t, xs, backend="numpy") == min(xs)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(-50, 50), st.booleans()), max_size=200
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_pack_matches_tracked(self, pairs):
+        xs = [x for x, _ in pairs]
+        flags = [f for _, f in pairs]
+        t1, t2 = Tracker(), Tracker()
+        assert primitives.pack(t1, xs, flags) == primitives.pack(
+            t2, xs, flags, backend="numpy"
+        )
+        assert primitives.pack_index(t1, flags) == primitives.pack_index(
+            t2, flags, backend="numpy"
+        )
+
+    def test_pack_preserves_element_identity(self):
+        # tuples must come back as tuples, not numpy rows
+        xs = [(1, 2), (3, 4), (5, 6)]
+        out = primitives.pack(Tracker(), xs, [True, False, True], backend="numpy")
+        assert out == [(1, 2), (5, 6)]
+        assert all(isinstance(e, tuple) for e in out)
+
+    def test_empty_and_singleton(self):
+        t = Tracker()
+        assert scan.exclusive_scan(t, []).tolist() == []
+        assert scan.inclusive_scan(t, []).tolist() == []
+        assert scan.exclusive_scan(t, [7]).tolist() == [0]
+        assert scan.reduce_sum(t, []) == 0
+        assert scan.pack(t, [], []).tolist() == []
+        with pytest.raises(ValueError):
+            scan.reduce_max(t, [])
+        with pytest.raises(ValueError):
+            primitives.reduce_min(t, [], backend="numpy")
+        with pytest.raises(ValueError):
+            scan.pack(t, [1, 2], [True])
+
+
+# ----------------------------------------------------------------------
+# list ranking
+# ----------------------------------------------------------------------
+
+def random_lists(rng, n_vertices, n_lists):
+    """Random disjoint lists over shuffled vertex ids."""
+    ids = list(range(0, 3 * n_vertices, 3))  # non-contiguous ids
+    rng.shuffle(ids)
+    prev_of = {}
+    values = {}
+    cut = sorted(rng.sample(range(1, n_vertices), min(n_lists - 1, n_vertices - 1))) if n_lists > 1 and n_vertices > 1 else []
+    bounds = [0] + cut + [n_vertices]
+    vertices = []
+    for a, b in zip(bounds, bounds[1:]):
+        prev = None
+        for i in range(a, b):
+            v = ids[i]
+            vertices.append(v)
+            prev_of[v] = prev
+            values[v] = rng.randrange(-5, 10)
+            prev = v
+    return vertices, prev_of, values
+
+
+class TestListRankParity:
+    @given(
+        st.integers(0, 120),
+        st.integers(1, 8),
+        st.integers(0, 2**31),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_sequential_oracle(self, n, k, seed):
+        rng = random.Random(seed)
+        vertices, prev_of, values = random_lists(rng, n, k)
+        want = sequential_prefix_sums(vertices, prev_of, values.get)
+        got = prefix_sums_on_lists(
+            Tracker(), vertices, prev_of, values.get, backend="numpy"
+        )
+        assert got == want
+
+    def test_matches_tracked_backends(self):
+        rng = random.Random(11)
+        vertices, prev_of, values = random_lists(rng, 200, 5)
+        t = Tracker()
+        tracked = prefix_sums_on_lists(
+            t, vertices, prev_of, values.get, backend="tracked"
+        )
+        fast = prefix_sums_on_lists(
+            t, vertices, prev_of, values.get, backend="numpy"
+        )
+        assert tracked == fast
+
+    def test_suffix_of_list(self):
+        # predecessors outside the vertex set are list boundaries
+        prev_of = {2: 1, 3: 2, 4: 3}
+        got = prefix_sums_on_lists(
+            Tracker(), [2, 3, 4], prev_of, lambda v: v, backend="numpy"
+        )
+        assert got == {2: 2, 3: 5, 4: 9}
+
+    def test_empty_and_singleton(self):
+        assert prefix_sums_on_lists(
+            Tracker(), [], {}, lambda v: 1, backend="numpy"
+        ) == {}
+        assert prefix_sums_on_lists(
+            Tracker(), [9], {9: None}, lambda v: 4, backend="numpy"
+        ) == {9: 4}
+
+    def test_wyllie_ranks_rejects_bad_prev(self):
+        with pytest.raises(ValueError):
+            listrank.wyllie_ranks(np.array([5]), np.array([1]))
+        with pytest.raises(ValueError):
+            listrank.wyllie_ranks(np.array([-2]), np.array([1]))
+        with pytest.raises(ValueError):
+            listrank.wyllie_ranks(np.array([0, 1]), np.array([1]))
+
+
+# ----------------------------------------------------------------------
+# maximal matching
+# ----------------------------------------------------------------------
+
+class TestMatchingParity:
+    @given(st.integers(2, 60), st.integers(0, 2**31))
+    @settings(max_examples=60, deadline=None)
+    def test_maximal_on_random_graphs(self, n, seed):
+        rng = random.Random(seed)
+        m = rng.randrange(0, min(3 * n, n * (n - 1) // 2) + 1)
+        g = G.gnm_random_graph(n, m, seed=seed)
+        chosen = maximal_matching(
+            Tracker(), g.n, g.edges, rng, backend="numpy"
+        )
+        assert is_maximal_matching(g.n, g.edges, chosen)
+
+    def test_empty_edges_and_isolated_vertices(self):
+        assert maximal_matching(Tracker(), 0, [], backend="numpy") == []
+        assert maximal_matching(Tracker(), 50, [], backend="numpy") == []
+
+    def test_single_edge(self):
+        assert maximal_matching(
+            Tracker(), 2, [(0, 1)], backend="numpy"
+        ) == [0]
+
+    def test_deterministic_given_rng(self):
+        g = G.gnm_random_connected_graph(40, 100, seed=9)
+        a = maximal_matching(
+            Tracker(), g.n, g.edges, random.Random(3), backend="numpy"
+        )
+        b = maximal_matching(
+            Tracker(), g.n, g.edges, random.Random(3), backend="numpy"
+        )
+        assert a == b
+
+    def test_graph_helper_uses_cached_csr(self):
+        g = G.gnm_random_connected_graph(30, 60, seed=4)
+        c1 = g.csr()
+        chosen = matching.maximal_matching_graph(
+            Tracker(), g, random.Random(0)
+        )
+        assert is_maximal_matching(g.n, g.edges, chosen)
+        assert g.csr() is c1  # no rebuild
+
+
+# ----------------------------------------------------------------------
+# Euler tour construction
+# ----------------------------------------------------------------------
+
+def spanning_tree_edges(g, rng):
+    """A random spanning forest of g (sequential, test support)."""
+    parent = {}
+    edges = []
+    for s in range(g.n):
+        if s in parent:
+            continue
+        parent[s] = None
+        stack = [s]
+        while stack:
+            u = stack.pop()
+            nbrs = list(g.adj[u])
+            rng.shuffle(nbrs)
+            for w in nbrs:
+                if w not in parent:
+                    parent[w] = u
+                    edges.append((u, w))
+                    stack.append(w)
+    return edges
+
+
+class TestEulerTour:
+    def check_successors(self, n, edges):
+        eu = np.array([e[0] for e in edges], dtype=np.int64)
+        ev = np.array([e[1] for e in edges], dtype=np.int64)
+        succ = euler.euler_tour_successors(n, eu, ev)
+        m = len(edges)
+        assert succ.shape == (2 * m,)
+        # a permutation…
+        assert sorted(succ.tolist()) == list(range(2 * m))
+        # …whose arcs chain head-to-tail
+        tail = np.concatenate([eu, ev])
+        head = np.concatenate([ev, eu])
+        assert (head == tail[succ]).all()
+        return succ
+
+    @given(st.integers(2, 60), st.integers(0, 2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_random_trees(self, n, seed):
+        rng = random.Random(seed)
+        g = G.gnm_random_connected_graph(
+            n, min(2 * n, n * (n - 1) // 2), seed=seed
+        )
+        edges = spanning_tree_edges(g, rng)
+        succ = self.check_successors(g.n, edges)
+        # one cycle spanning all 2m arcs (a single tree)
+        a, seen = 0, set()
+        while a not in seen:
+            seen.add(a)
+            a = int(succ[a])
+        assert len(seen) == 2 * len(edges)
+
+    def test_forest_has_one_cycle_per_tree(self):
+        edges = [(0, 1), (1, 2), (3, 4)]  # two trees + isolated vertex 5
+        succ = self.check_successors(6, edges)
+        # arcs 0,1 (and twins 3,4) are tree A; arc 2/5 tree B
+        cycles = 0
+        unseen = set(range(2 * len(edges)))
+        while unseen:
+            cycles += 1
+            a = next(iter(unseen))
+            while a in unseen:
+                unseen.discard(a)
+                a = int(succ[a])
+        assert cycles == 2
+
+    @given(st.integers(2, 40), st.integers(0, 2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_tour_order_is_a_valid_euler_tour(self, n, seed):
+        rng = random.Random(seed)
+        g = G.gnm_random_connected_graph(
+            n, min(2 * n, n * (n - 1) // 2), seed=seed
+        )
+        edges = spanning_tree_edges(g, rng)
+        eu = np.array([e[0] for e in edges], dtype=np.int64)
+        ev = np.array([e[1] for e in edges], dtype=np.int64)
+        root = rng.randrange(n)
+        order = euler.euler_tour_order(g.n, eu, ev, root=root)
+        m = len(edges)
+        assert order.shape == (2 * m,)
+        tail = np.concatenate([eu, ev])
+        head = np.concatenate([ev, eu])
+        # starts and ends at the root, chains, and uses every arc once
+        assert tail[order[0]] == root and head[order[-1]] == root
+        for a, b in zip(order, order[1:]):
+            assert head[a] == tail[b]
+        assert sorted(order.tolist()) == list(range(2 * m))
+
+    def test_tour_order_forest_restricts_to_roots_tree(self):
+        eu = np.array([0, 1, 3], dtype=np.int64)
+        ev = np.array([1, 2, 4], dtype=np.int64)
+        assert euler.euler_tour_order(5, eu, ev, root=0).size == 4
+        assert euler.euler_tour_order(5, eu, ev, root=3).size == 2
+
+    def test_empty_and_isolated_root(self):
+        empty = np.empty(0, dtype=np.int64)
+        assert euler.euler_tour_successors(3, empty, empty).size == 0
+        assert euler.euler_tour_order(3, empty, empty, root=1).size == 0
+        eu = np.array([0], dtype=np.int64)
+        ev = np.array([1], dtype=np.int64)
+        assert euler.euler_tour_order(3, eu, ev, root=2).size == 0
+
+
+# ----------------------------------------------------------------------
+# CSR cache on Graph
+# ----------------------------------------------------------------------
+
+class TestCSRCache:
+    def test_cached_until_mutation(self):
+        g = Graph(4, [(0, 1), (1, 2)])
+        c1 = g.csr()
+        assert g.csr() is c1
+        g._add_edge(2, 3, False)  # simulate a mutating subclass
+        c2 = g.csr()
+        assert c2 is not c1
+        assert c2.m == 3
+        assert sorted(c2.neighbors(2).tolist()) == [1, 3]
+
+    def test_view_matches_adjacency(self):
+        g = G.gnm_random_connected_graph(60, 140, seed=8)
+        c = g.csr()
+        for v in range(g.n):
+            assert sorted(c.neighbors(v).tolist()) == sorted(g.adj[v])
+
+
+# ----------------------------------------------------------------------
+# whole-pipeline smoke: the numpy backend drives the real algorithm
+# ----------------------------------------------------------------------
+
+class TestBackendEndToEnd:
+    def test_parallel_dfs_on_numpy_backend(self):
+        from repro import parallel_dfs
+
+        g = G.gnm_random_connected_graph(300, 900, seed=21)
+        res = parallel_dfs(g, 0, kernel_backend="numpy", verify=True)
+        assert len(res.parent) == g.n
+
+    def test_separator_on_numpy_backend(self):
+        from repro.core.separator import build_separator
+        from repro.core.verify import is_separator
+
+        g = G.gnm_random_connected_graph(200, 500, seed=5)
+        sep = build_separator(g, Tracker(), backend="numpy", verify=True)
+        assert is_separator(g, sep.vertices)
