@@ -10,23 +10,48 @@ claimed bounds); wall-clock numbers reported by pytest-benchmark time the
 simulation, not the algorithm, and are used only in E14.
 
 Alongside the human-readable tables, the harness maintains one
-machine-readable ledger, ``results/BENCH_PR1.json``: every benchmark test
+machine-readable ledger, ``results/BENCH_PR2.json`` (one file per PR;
+PR 1's numbers stay frozen in ``BENCH_PR1.json``): every benchmark test
 gets its wall-clock seconds recorded automatically, and experiments that
 measure tracked work/span can attach those numbers via ``publish(...,
-data=...)`` (or ``publish_json`` directly). Regression tooling diffs this
-file across PRs instead of parsing the text tables.
+data=...)`` (or ``publish_json`` directly). Each entry also records the
+git commit and the resolved kernel backend active when it was written,
+so a diff across PRs always knows what produced the numbers. Regression
+tooling diffs this file across PRs instead of parsing the text tables.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import subprocess
 import time
 
 import pytest
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
-BENCH_JSON = os.path.join(RESULTS_DIR, "BENCH_PR1.json")
+BENCH_JSON = os.path.join(RESULTS_DIR, "BENCH_PR2.json")
+
+_git_sha: str | None = None
+
+
+def _provenance() -> dict:
+    """The git SHA and resolved kernel backend to stamp on each entry."""
+    global _git_sha
+    if _git_sha is None:
+        try:
+            _git_sha = subprocess.run(
+                ["git", "rev-parse", "--short=12", "HEAD"],
+                capture_output=True,
+                text=True,
+                cwd=os.path.dirname(__file__),
+                timeout=10,
+            ).stdout.strip() or "unknown"
+        except (OSError, subprocess.SubprocessError):
+            _git_sha = "unknown"
+    from repro.kernels.dispatch import default_backend
+
+    return {"git_sha": _git_sha, "kernel_backend": default_backend()}
 
 
 def publish_json(name: str, record: dict) -> None:
@@ -38,6 +63,7 @@ def publish_json(name: str, record: dict) -> None:
     except (FileNotFoundError, json.JSONDecodeError):
         data = {}
     data.setdefault(name, {}).update(record)
+    data[name].update(_provenance())
     with open(BENCH_JSON, "w") as fh:
         json.dump(data, fh, indent=2, sort_keys=True)
         fh.write("\n")
@@ -46,7 +72,7 @@ def publish_json(name: str, record: dict) -> None:
 def publish(name: str, text: str, data: dict | None = None) -> None:
     """Print an experiment's table and persist it under results/.
 
-    ``data``, when given, is merged into ``BENCH_PR1.json`` under the
+    ``data``, when given, is merged into ``BENCH_PR2.json`` under the
     experiment's name — use it for the tracked work/span numbers the
     text table reports, so regressions are diffable by machine.
     """

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from ..baselines.sequential import sequential_dfs
 from ..graph.connectivity import connected_components
 from ..graph.graph import Graph
+from ..kernels.dispatch import resolve_backend
 from ..pram.tracker import Tracker, log2_ceil
 from .absorption import absorb_separator
 from .separator import build_separator
@@ -78,6 +79,14 @@ def parallel_dfs(
     rng = rng if rng is not None else random.Random(0xDF5)
     if not (0 <= root < g.n):
         raise ValueError(f"root {root} out of range")
+    # resolve once at entry so one run never mixes backends even if the
+    # process default changes mid-flight
+    kb = resolve_backend(kernel_backend)
+    # deferred: analysis.__init__ imports the experiment runner, which
+    # imports this module back
+    from ..analysis.metrics import PhaseProfiler
+
+    prof = PhaseProfiler()
 
     parent: dict[int, int | None] = {root: None}
     depth: dict[int, int] = {root: 0}
@@ -90,9 +99,10 @@ def parallel_dfs(
 
     # restrict to root's component (footnote 4: components are identified
     # with the parallel CC algorithm)
-    labels = connected_components(g, t)
-    comp_vertices = [v for v in range(g.n) if labels[v] == labels[root]]
-    t.charge(g.n, 1)
+    with prof.phase("components"):
+        labels = connected_components(g, t, backend=kb)
+        comp_vertices = [v for v in range(g.n) if labels[v] == labels[root]]
+        t.charge(g.n, 1)
 
     max_level = [0]
 
@@ -112,31 +122,35 @@ def parallel_dfs(
 
         if len(vertices) <= small_cutoff:
             stats["sequential_base_cases"] += 1
-            sub, mapping = _induced(g, vertices, t)
-            inv = {i: v for v, i in mapping.items()}
-            local = sequential_dfs(sub, mapping[sub_root], t)
-            kids: dict[int, list[int]] = {}
-            for lv, lp in local.items():
-                if lp is not None:
-                    parent[inv[lv]] = inv[lp]
-                    kids.setdefault(lp, []).append(lv)
-            # depths by walking down the tree from the root
-            stack = [(mapping[sub_root], sub_depth)]
-            while stack:
-                lv, d = stack.pop()
-                t.op(1)
-                depth[inv[lv]] = d
-                for ch in kids.get(lv, ()):
-                    stack.append((ch, d + 1))
+            with prof.phase("induce"):
+                sub, mapping = _induced(g, vertices, t, backend=kb)
+            with prof.phase("base-case"):
+                inv = {i: v for v, i in mapping.items()}
+                local = sequential_dfs(sub, mapping[sub_root], t)
+                kids: dict[int, list[int]] = {}
+                for lv, lp in local.items():
+                    if lp is not None:
+                        parent[inv[lv]] = inv[lp]
+                        kids.setdefault(lp, []).append(lv)
+                # depths by walking down the tree from the root
+                stack = [(mapping[sub_root], sub_depth)]
+                while stack:
+                    lv, d = stack.pop()
+                    t.op(1)
+                    depth[inv[lv]] = d
+                    for ch in kids.get(lv, ()):
+                        stack.append((ch, d + 1))
             return
 
-        sub, mapping = _induced(g, vertices, t)
+        with prof.phase("induce"):
+            sub, mapping = _induced(g, vertices, t, backend=kb)
         inv = {i: v for v, i in mapping.items()}
 
-        sep = build_separator(
-            sub, t, rng, target_factor=separator_factor,
-            neighbor_structure=neighbor_structure, backend=kernel_backend,
-        )
+        with prof.phase("separator"):
+            sep = build_separator(
+                sub, t, rng, target_factor=separator_factor,
+                neighbor_structure=neighbor_structure, backend=kb,
+            )
         stats["separator_rounds"] += sep.rounds
 
         seeds_local = [
@@ -146,20 +160,21 @@ def parallel_dfs(
         ]
         t.charge(len(seeds_global) + 1, 1)
 
-        outcome = absorb_separator(
-            sub,
-            sep.paths,
-            mapping[sub_root],
-            sub_depth,
-            parent,
-            depth,
-            to_global=inv,
-            seeds=seeds_local,
-            t=t,
-            rng=rng,
-            backend=backend,
-            kernel_backend=kernel_backend,
-        )
+        with prof.phase("absorb"):
+            outcome = absorb_separator(
+                sub,
+                sep.paths,
+                mapping[sub_root],
+                sub_depth,
+                parent,
+                depth,
+                to_global=inv,
+                seeds=seeds_local,
+                t=t,
+                rng=rng,
+                backend=backend,
+                kernel_backend=kb,
+            )
         stats["absorb_iterations"] += outcome.iterations
 
         # remaining components (local ids) and their attachment points
@@ -168,19 +183,17 @@ def parallel_dfs(
         t.charge(sub.n, 1)
         if not remaining:
             return
-        rsub, rmap = _induced(sub, remaining, t)
-        rlabels = connected_components(rsub, t)
-        rinv = {i: lv for lv, i in rmap.items()}
-        groups: dict[int, list[int]] = {}
-        for ri, lab in enumerate(rlabels):
-            groups.setdefault(lab, []).append(rinv[ri])
-        # parallel grouping (semisort): O(k) work, O(log) span
-        t.charge(len(rlabels), log2_ceil(max(2, len(rlabels))) + 1)
+        with prof.phase("induce"):
+            rsub, rmap = _induced(sub, remaining, t, backend=kb)
+        with prof.phase("components"):
+            rlabels = connected_components(rsub, t, backend=kb)
+            grouped = _group_by_label(rlabels, remaining, rmap, kb)
+            # parallel grouping (semisort): O(k) work, O(log) span
+            t.charge(len(rlabels), log2_ceil(max(2, len(rlabels))) + 1)
 
         ds = outcome.structure
         tasks = []
-        for lab in sorted(groups):
-            comp_local = groups[lab]
+        for comp_local in grouped:
             if verify:
                 assert len(comp_local) <= len(vertices) / 2, (
                     "separator absorption left an oversized component"
@@ -207,6 +220,7 @@ def parallel_dfs(
 
     solve(comp_vertices, root, 0, [], 1)
 
+    prof.export_into(stats)
     result = DFSResult(
         root=root, parent=parent, depth=depth, levels=max_level[0], stats=stats
     )
@@ -219,10 +233,52 @@ def parallel_dfs(
     return result
 
 
+def _group_by_label(
+    rlabels: list[int], remaining: list[int], rmap: dict[int, int], kb: str
+) -> list[list[int]]:
+    """Component groups (lists of local ids) in ascending label order.
+
+    Both paths produce the identical nested lists: groups ordered by
+    label, members in ``rlabels`` index order (``remaining[ri]`` is the
+    local id of index ``ri``).
+    """
+    if kb == "numpy" and rlabels:
+        import numpy as np
+
+        arr = np.asarray(rlabels, dtype=np.int64)
+        order = np.argsort(arr, kind="stable")
+        starts = np.flatnonzero(np.diff(arr[order], prepend=arr[order[0]] - 1))
+        bounds = starts.tolist() + [len(rlabels)]
+        oidx = order.tolist()
+        return [
+            [remaining[ri] for ri in oidx[bounds[i] : bounds[i + 1]]]
+            for i in range(len(bounds) - 1)
+        ]
+    rinv = {i: lv for lv, i in rmap.items()}
+    groups: dict[int, list[int]] = {}
+    for ri, lab in enumerate(rlabels):
+        groups.setdefault(lab, []).append(rinv[ri])
+    return [groups[lab] for lab in sorted(groups)]
+
+
 def _induced(
-    g: Graph, vertices: list[int], t: Tracker
+    g: Graph, vertices: list[int], t: Tracker, backend: str | None = None
 ) -> tuple[Graph, dict[int, int]]:
-    """Induced subgraph with cost charging (parallel gather + relabel)."""
+    """Induced subgraph with cost charging (parallel gather + relabel).
+
+    Both backends charge the identical scan cost and return identical
+    graphs: the numpy path (:mod:`repro.kernels.subgraph`) reproduces
+    the tracked emission order exactly.
+    """
+    from ..kernels.dispatch import resolve_backend
+
+    if resolve_backend(backend) == "numpy":
+        from ..kernels.subgraph import induced_subgraph_np
+
+        sub, mapping = induced_subgraph_np(g, vertices, order="vertex")
+        scanned = sum(len(g.adj[v]) for v in vertices)
+        t.charge(len(vertices) + scanned, log2_ceil(max(2, len(vertices))) + 1)
+        return sub, mapping
     mapping = {v: i for i, v in enumerate(vertices)}
     edges = []
     scanned = 0

@@ -36,12 +36,18 @@ __all__ = ["paths_form_separator", "reduce_paths", "split_short_at"]
 
 
 def paths_form_separator(
-    g: Graph, t: Tracker, paths: list[list[int]]
+    g: Graph, t: Tracker, paths: list[list[int]], backend: str | None = None
 ) -> bool:
     """Check Definition 2.3 for the union of the given paths, in parallel.
 
-    Work O(m log n), span polylog (Appendix A / JáJá).
+    Work O(m log n), span polylog (Appendix A / JáJá).  With
+    ``backend="numpy"`` the complement extraction and the connectivity
+    check run on the vectorized kernels — identical verdict, identical
+    driver-level charges.
     """
+    from ..kernels.dispatch import resolve_backend
+
+    kb = resolve_backend(backend)
     q: set[int] = set()
     total = 0
     for p in paths:
@@ -52,18 +58,23 @@ def paths_form_separator(
     t.charge(g.n + total, log2_ceil(max(2, g.n)) + 1)
     if not keep:
         return True
-    index = {v: i for i, v in enumerate(keep)}
-    sub_edges = [
-        (index[u], index[v])
-        for u, v in g.edges
-        if u in index and v in index
-    ]
+    if kb == "numpy":
+        from ..kernels.subgraph import induced_subgraph_np
+
+        h, _ = induced_subgraph_np(g, keep, order="edge")
+    else:
+        index = {v: i for i, v in enumerate(keep)}
+        sub_edges = [
+            (index[u], index[v])
+            for u, v in g.edges
+            if u in index and v in index
+        ]
+        h = Graph(len(keep), sub_edges)
     t.charge(g.m, log2_ceil(max(2, g.m)))
-    h = Graph(len(keep), sub_edges)
-    labels = connected_components(h, t)
+    labels = connected_components(h, t, backend=kb)
     if not labels:
         return True
-    sizes = component_sizes(labels, t)
+    sizes = component_sizes(labels, t, backend=kb)
     return max(sizes.values()) <= g.n / 2
 
 
@@ -225,7 +236,7 @@ def reduce_paths(
             cands = _fallback_candidates(res, long_paths, short_paths)
             for cand in (cands["lhat_p_s"], cands["l_p_shat"]):
                 cand = [p for p in cand if p]
-                if len(cand) < k and paths_form_separator(g, t, cand):
+                if len(cand) < k and paths_form_separator(g, t, cand, backend=backend):
                     return cand
             break
 
@@ -233,7 +244,7 @@ def reduce_paths(
             g, t, res, short_paths, rng, backend=backend
         )
         committed = merged_longs + remaining_shorts
-        if paths_form_separator(g, t, committed):
+        if paths_form_separator(g, t, committed, backend=backend):
             new_k = len(committed)
             if new_k >= k and sum(map(len, remaining_shorts)) >= sum(
                 map(len, short_paths)
@@ -246,7 +257,7 @@ def reduce_paths(
         cand = [p for p in _fallback_candidates(res, long_paths, short_paths)[
             "l_p_shat"
         ] if p]
-        if not paths_form_separator(g, t, cand):
+        if not paths_form_separator(g, t, cand, backend=backend):
             raise RuntimeError("Lemma A.1 violated: fallback fails (bug)")
         return cand
 

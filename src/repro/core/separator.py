@@ -75,7 +75,7 @@ def build_separator(
             backend=backend,
         )
         if verify:
-            assert paths_form_separator(g, t, new_paths), (
+            assert paths_form_separator(g, t, new_paths, backend=backend), (
                 "reduction returned a non-separator"
             )
         if len(new_paths) >= len(paths):

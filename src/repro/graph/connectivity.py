@@ -108,29 +108,59 @@ def _contraction_rounds(
     return label, forest
 
 
-def connected_components(g: Graph, t: Tracker | None = None) -> list[int]:
-    """Component labels: ``label[v]`` is the minimum vertex id in v's component."""
+def connected_components(
+    g: Graph, t: Tracker | None = None, backend: str | None = None
+) -> list[int]:
+    """Component labels: ``label[v]`` is the minimum vertex id in v's component.
+
+    ``backend="numpy"`` runs the vectorized contraction in
+    :mod:`repro.kernels.components`; it replicates the tracked hooking
+    winner per round exactly, so the labels are identical, not merely a
+    valid labeling.
+    """
     t = t if t is not None else Tracker()
+    from ..kernels.dispatch import resolve_backend
+
+    if resolve_backend(backend) == "numpy":
+        from ..kernels.components import connected_components_np
+
+        return connected_components_np(g, t)
     labels, _ = _contraction_rounds(g, t, record_edges=False)
     return labels
 
 
 def spanning_forest(
-    g: Graph, t: Tracker | None = None
+    g: Graph, t: Tracker | None = None, backend: str | None = None
 ) -> tuple[list[int], list[int]]:
     """Component labels plus the edge ids of a spanning forest.
 
     Each hooking round adds one edge per merged star; hooks always point to
     strictly smaller labels across distinct components, so the union over
-    rounds is acyclic and spans every component.
+    rounds is acyclic and spans every component.  ``backend="numpy"``
+    returns the identical labels *and* forest edge ids (same recording
+    order) as the tracked contraction.
     """
     t = t if t is not None else Tracker()
+    from ..kernels.dispatch import resolve_backend
+
+    if resolve_backend(backend) == "numpy":
+        from ..kernels.components import spanning_forest_np
+
+        return spanning_forest_np(g, t)
     return _contraction_rounds(g, t, record_edges=True)
 
 
-def component_sizes(labels: list[int], t: Tracker | None = None) -> dict[int, int]:
+def component_sizes(
+    labels: list[int], t: Tracker | None = None, backend: str | None = None
+) -> dict[int, int]:
     """Histogram of component labels (parallel count + combine)."""
     t = t if t is not None else Tracker()
+    from ..kernels.dispatch import resolve_backend
+
+    if resolve_backend(backend) == "numpy":
+        from ..kernels.components import component_sizes_np
+
+        return component_sizes_np(labels, t)
     sizes: dict[int, int] = {}
 
     def count(l: int) -> None:
@@ -138,15 +168,18 @@ def component_sizes(labels: list[int], t: Tracker | None = None) -> dict[int, in
         sizes[l] = sizes.get(l, 0) + 1
 
     t.parallel_for(labels, count)
-    t.charge(0, log2_ceil(max(2, len(labels))))
+    # the combining tree sums |labels| partial counts: O(k) work, O(log k) span
+    t.charge(len(labels), log2_ceil(max(2, len(labels))))
     return sizes
 
 
-def largest_component_size(g: Graph, t: Tracker | None = None) -> int:
+def largest_component_size(
+    g: Graph, t: Tracker | None = None, backend: str | None = None
+) -> int:
     """Size of the largest connected component (0 for the empty graph)."""
     t = t if t is not None else Tracker()
-    labels = connected_components(g, t)
+    labels = connected_components(g, t, backend=backend)
     if not labels:
         return 0
-    sizes = component_sizes(labels, t)
+    sizes = component_sizes(labels, t, backend=backend)
     return max(sizes.values())

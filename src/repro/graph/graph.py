@@ -55,7 +55,8 @@ class Graph:
         self.adj: list[list[int]] = [[] for _ in range(n)]
         #: adj_eids[v][i] is the edge id of the edge to adj[v][i].
         self.adj_eids: list[list[int]] = [[] for _ in range(n)]
-        self._edge_set: set[tuple[int, int]] = set()
+        #: lazily materialized (None until an edge lookup needs it)
+        self._edge_set: set[tuple[int, int]] | None = set()
         #: mutation counter; the cached CSR view is keyed on it
         self._mutations = 0
         self._csr_cache = None
@@ -63,19 +64,53 @@ class Graph:
         for u, v in edges:
             self._add_edge(u, v, allow_multi)
 
+    @classmethod
+    def from_trusted_arrays(
+        cls,
+        n: int,
+        edges: list[tuple[int, int]],
+        adj: list[list[int]],
+        adj_eids: list[list[int]],
+    ) -> "Graph":
+        """Adopt pre-validated structures without the per-edge checks.
+
+        The caller (:mod:`repro.kernels.subgraph`) guarantees what
+        ``_add_edge`` would have enforced — endpoints in range, no
+        self-loops, no duplicates, canonical ``(min, max)`` tuples,
+        adjacency in edge-id order.  The duplicate-lookup set is
+        materialized lazily on the first :meth:`has_edge`/mutation, so
+        construction is O(1) beyond the arrays handed in.
+        """
+        g = cls.__new__(cls)
+        g.n = n
+        g.edges = edges
+        g.adj = adj
+        g.adj_eids = adj_eids
+        g._edge_set = None
+        g._mutations = len(edges)
+        g._csr_cache = None
+        g._csr_mutations = -1
+        return g
+
+    def _edge_lookup(self) -> set[tuple[int, int]]:
+        if self._edge_set is None:
+            self._edge_set = set(self.edges)
+        return self._edge_set
+
     def _add_edge(self, u: int, v: int, allow_multi: bool) -> None:
         if not (0 <= u < self.n and 0 <= v < self.n):
             raise ValueError(f"edge ({u}, {v}) out of range for n={self.n}")
         if u == v:
             raise ValueError(f"self-loop ({u}, {v}) not allowed")
         key = (u, v) if u < v else (v, u)
-        if key in self._edge_set:
+        edge_set = self._edge_lookup()
+        if key in edge_set:
             if allow_multi:
                 return
             raise ValueError(f"duplicate edge {key}")
         eid = len(self.edges)
         self._mutations += 1
-        self._edge_set.add(key)
+        edge_set.add(key)
         self.edges.append(key)
         self.adj[u].append(v)
         self.adj_eids[u].append(eid)
@@ -96,7 +131,7 @@ class Graph:
 
     def has_edge(self, u: int, v: int) -> bool:
         key = (u, v) if u < v else (v, u)
-        return key in self._edge_set
+        return key in self._edge_lookup()
 
     def edge_endpoints(self, eid: int) -> tuple[int, int]:
         return self.edges[eid]
@@ -144,11 +179,22 @@ class Graph:
             n = max(n, u + 1, v + 1)
         return cls(n, edges)
 
-    def subgraph(self, vertices: Sequence[int]) -> tuple["Graph", dict[int, int]]:
+    def subgraph(
+        self, vertices: Sequence[int], backend: str | None = None
+    ) -> tuple["Graph", dict[int, int]]:
         """Induced subgraph on ``vertices``.
 
         Returns ``(H, mapping)`` where ``mapping[old_id] = new_id``.
+        ``backend="numpy"`` extracts from the cached CSR view
+        (:mod:`repro.kernels.subgraph`) — identical result, no per-edge
+        Python loop.
         """
+        from ..kernels.dispatch import resolve_backend
+
+        if resolve_backend(backend) == "numpy":
+            from ..kernels.subgraph import induced_subgraph_np
+
+            return induced_subgraph_np(self, vertices, order="edge")
         mapping = {v: i for i, v in enumerate(vertices)}
         sub_edges = []
         for u, v in self.edges:

@@ -25,15 +25,21 @@ instrumented entry points (``pram.primitives``, ``listrank.ranking``,
 from .dispatch import (
     BACKENDS,
     default_backend,
+    get_kernel,
+    register_kernel,
+    registered_kernels,
     resolve_backend,
     set_default_backend,
     use_backend,
 )
-from . import scan, listrank, matching, euler
+from . import scan, listrank, matching, euler, components, subgraph
 
 __all__ = [
     "BACKENDS",
     "default_backend",
+    "get_kernel",
+    "register_kernel",
+    "registered_kernels",
     "resolve_backend",
     "set_default_backend",
     "use_backend",
@@ -41,4 +47,34 @@ __all__ = [
     "listrank",
     "matching",
     "euler",
+    "components",
+    "subgraph",
 ]
+
+# numpy implementations of the operations the instrumented entry points
+# dispatch on; the tracked counterparts register themselves lazily via
+# their home modules to avoid import cycles (see _register_tracked)
+register_kernel("prefix_sums_on_lists", "numpy", listrank.prefix_sums_on_lists_np)
+register_kernel("maximal_matching", "numpy", matching.maximal_matching_np)
+register_kernel("euler_tour_successors", "numpy", euler.euler_tour_successors)
+register_kernel("connected_components", "numpy", components.connected_components_np)
+register_kernel("spanning_forest", "numpy", components.spanning_forest_np)
+register_kernel("component_sizes", "numpy", components.component_sizes_np)
+register_kernel("induced_subgraph", "numpy", subgraph.induced_subgraph_np)
+
+
+def _register_tracked() -> None:
+    """Register the instrumented counterparts (deferred: they live above
+    this package in the import graph)."""
+    from ..graph import connectivity as _cc
+    from ..listrank import ranking as _rank
+    from ..matching import luby as _luby
+
+    register_kernel("prefix_sums_on_lists", "tracked", _rank.prefix_sums_on_lists)
+    register_kernel("maximal_matching", "tracked", _luby.maximal_matching)
+    register_kernel("connected_components", "tracked", _cc.connected_components)
+    register_kernel("spanning_forest", "tracked", _cc.spanning_forest)
+    register_kernel("component_sizes", "tracked", _cc.component_sizes)
+
+
+_register_tracked()

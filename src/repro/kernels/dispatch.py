@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import os
 from contextlib import contextmanager
-from typing import Iterator
+from typing import Callable, Iterator
 
 __all__ = [
     "BACKENDS",
@@ -31,6 +31,9 @@ __all__ = [
     "set_default_backend",
     "use_backend",
     "resolve_backend",
+    "register_kernel",
+    "get_kernel",
+    "registered_kernels",
 ]
 
 TRACKED = "tracked"
@@ -43,10 +46,16 @@ _ENV_VAR = "REPRO_KERNEL_BACKEND"
 _default: str | None = None
 
 
-def _validate(name: str) -> str:
+def _validate(name: str, source: str = "backend argument") -> str:
+    """Reject unknown backend names where they enter, naming the source.
+
+    A bad explicit argument or a stale ``REPRO_KERNEL_BACKEND`` fails
+    here with the registered names, not deep inside a kernel.
+    """
     if name not in BACKENDS:
         raise ValueError(
-            f"unknown kernel backend {name!r}; expected one of {BACKENDS}"
+            f"unknown kernel backend {name!r} (from {source}); "
+            f"registered backends: {', '.join(BACKENDS)}"
         )
     return name
 
@@ -57,14 +66,16 @@ def default_backend() -> str:
         return _default
     env = os.environ.get(_ENV_VAR)
     if env:
-        return _validate(env)
+        return _validate(env, source=f"environment variable {_ENV_VAR}")
     return TRACKED
 
 
 def set_default_backend(name: str | None) -> None:
     """Install (or with None, clear) the process-wide default backend."""
     global _default
-    _default = _validate(name) if name is not None else None
+    _default = (
+        _validate(name, source="set_default_backend") if name is not None else None
+    )
 
 
 @contextmanager
@@ -72,7 +83,7 @@ def use_backend(name: str) -> Iterator[None]:
     """Temporarily switch the process-wide default backend (tests)."""
     global _default
     prev = _default
-    _default = _validate(name)
+    _default = _validate(name, source="use_backend")
     try:
         yield
     finally:
@@ -84,3 +95,37 @@ def resolve_backend(backend: str | None) -> str:
     if backend is None:
         return default_backend()
     return _validate(backend)
+
+
+# ----------------------------------------------------------------------
+# Kernel registry: maps (operation, backend) to the callable implementing
+# it, so tooling can enumerate what each backend provides and entry
+# points can look implementations up by name.
+# ----------------------------------------------------------------------
+
+_REGISTRY: dict[tuple[str, str], Callable] = {}
+
+
+def register_kernel(operation: str, backend: str, fn: Callable) -> Callable:
+    """Register ``fn`` as ``operation``'s implementation under ``backend``."""
+    _validate(backend, source="register_kernel")
+    _REGISTRY[(operation, backend)] = fn
+    return fn
+
+
+def get_kernel(operation: str, backend: str | None = None) -> Callable:
+    """The registered implementation of ``operation`` for ``backend``."""
+    resolved = resolve_backend(backend)
+    try:
+        return _REGISTRY[(operation, resolved)]
+    except KeyError:
+        have = sorted(op for op, b in _REGISTRY if b == resolved)
+        raise KeyError(
+            f"no {resolved!r} kernel registered for operation {operation!r}; "
+            f"registered operations: {', '.join(have) or '(none)'}"
+        ) from None
+
+
+def registered_kernels() -> list[tuple[str, str]]:
+    """All registered ``(operation, backend)`` pairs, sorted."""
+    return sorted(_REGISTRY)

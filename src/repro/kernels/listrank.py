@@ -1,30 +1,50 @@
-"""Vectorized list ranking (Lemma 2.4) — Wyllie pointer jumping on arrays.
+"""Vectorized list ranking (Lemma 2.4) — array engines for both methods.
 
 The tracked implementations in :mod:`repro.listrank.ranking` walk dicts
-with per-element closures; here the same synchronous rounds become two
-gathers and two blends over ``int64`` arrays::
+with per-element closures; here the same synchronous rounds become a
+handful of gathers and blends over ``int64`` arrays.
 
-    rank += where(live, rank[ptr], 0)
-    ptr   = where(live, ptr[ptr], -1)
+Two engines:
 
-``O(log L)`` rounds over a union of disjoint lists of total length ``L``
-(``-1`` marks a head). Wyllie's extra log factor in *work* is irrelevant
-on this backend — each round is a constant number of memory-bandwidth
-passes — so the numpy engine always runs Wyllie, regardless of which
-tracked method (``"wyllie"`` / ``"anderson-miller"``) the caller named:
-both compute the exact same prefix sums, and the tracked Anderson–Miller
-path remains the work-efficiency measurement instrument.
+* :func:`wyllie_ranks` — Wyllie pointer jumping::
+
+      rank += where(live, rank[ptr], 0)
+      ptr   = where(live, ptr[ptr], -1)
+
+  ``O(log L)`` rounds over lists of total length ``L`` (``-1`` marks a
+  head).  Used whenever the caller did not hand over a shared
+  ``random.Random`` — the ranks are uniquely determined by the lists, so
+  any engine agrees with any other.
+
+* :func:`anderson_miller_ranks` — the randomized independent-set
+  contraction of [AM90], vectorized: per round one hashed-coin array
+  decides the splice set (node heads / predecessor tails — provably
+  non-adjacent, so the pointer updates are race-free whole-array
+  scatters), and the reverse replay re-ranks each round in one gather.
+  Crucially it draws its per-round salt with the *same*
+  ``rng.getrandbits(62)`` calls, over the same number of rounds, as the
+  tracked implementation — so a pipeline that threads one shared
+  ``random.Random`` through ranking *and* other randomized subroutines
+  stays in lockstep across backends (the matching that runs after a
+  ranking sees the identical stream).  This is what
+  :func:`prefix_sums_on_lists_np` runs when the caller passed ``rng``
+  with ``method="anderson-miller"``.
 """
 
 from __future__ import annotations
 
+import random
 from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
 from ..pram.tracker import Tracker, log2_ceil
 
-__all__ = ["wyllie_ranks", "prefix_sums_on_lists_np"]
+__all__ = [
+    "wyllie_ranks",
+    "anderson_miller_ranks",
+    "prefix_sums_on_lists_np",
+]
 
 
 def wyllie_ranks(
@@ -62,21 +82,176 @@ def wyllie_ranks(
     return rank
 
 
+def _coin_bits(ids: np.ndarray, salt: int) -> np.ndarray:
+    """Vectorized :func:`repro.listrank.ranking._coin` (splitmix64 bit)."""
+    x = ids.astype(np.uint64) + np.uint64(salt)
+    x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return ((x ^ (x >> np.uint64(31))) & np.uint64(1)).astype(bool)
+
+
+def anderson_miller_ranks(
+    ids: np.ndarray,
+    prev: np.ndarray,
+    values: np.ndarray,
+    rng: random.Random,
+    t: Tracker | None = None,
+) -> np.ndarray:
+    """Anderson–Miller list contraction on arrays, in rng lockstep.
+
+    ``ids[i]`` is element i's original identity (hashed for the coins),
+    ``prev[i]`` its predecessor index (``-1`` at heads), ``values[i]``
+    its value.  Consumes exactly one ``rng.getrandbits(62)`` per
+    contraction round — the same draws, over the same number of rounds,
+    as the tracked implementation, because the splice sets are a
+    deterministic function of the salts and the list structure.
+    """
+    k = int(ids.size)
+    rank = np.zeros(k, dtype=np.int64)
+    if k == 0:
+        return rank
+    prv = prev.astype(np.int64).copy()
+    heads = prv < 0
+    nxt = np.full(k, -1, dtype=np.int64)
+    tails = np.flatnonzero(~heads)
+    nxt[prv[tails]] = tails
+    val = np.asarray(values, dtype=np.int64).copy()
+    live = ~heads
+    live_count = int(live.sum())
+    rounds: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+
+    guard = 0
+    total = 0
+    while live_count:
+        guard += 1
+        if guard > 4 * (k.bit_length() + 2) ** 2 + 64:
+            raise RuntimeError("anderson-miller failed to converge (bug)")
+        salt = rng.getrandbits(62)
+        total += live_count
+        c = _coin_bits(ids, salt)
+        # splice: coin of node heads, coin of predecessor tails — spliced
+        # nodes are pairwise non-adjacent, so the updates are race-free
+        spl = live & c & ~c[np.where(live, prv, 0)]
+        sv = np.flatnonzero(spl)
+        if sv.size:
+            pv = prv[sv]
+            vv = val[sv].copy()
+            w = nxt[sv]
+            has = w >= 0
+            nxt[pv] = w
+            wh = w[has]
+            prv[wh] = pv[has]
+            val[wh] += vv[has]
+            live[sv] = False
+            live_count -= int(sv.size)
+            rounds.append((sv, pv, vv))
+
+    hidx = np.flatnonzero(heads)
+    rank[hidx] = values[hidx]
+    for sv, pv, vv in reversed(rounds):
+        rank[sv] = rank[pv] + vv
+    if t is not None:
+        # aggregate: expected-linear contraction + replay, O(log) span/round
+        logk = log2_ceil(max(2, k)) + 1
+        t.charge(2 * total + 3 * k, (len(rounds) + 3) * logk)
+    return rank
+
+
+#: below this size the array setup costs more than it saves; run the
+#: tracked algorithm shape directly (uninstrumented) instead
+_SMALL = 96
+
+
+def _am_small(
+    vertices: Sequence[int],
+    prev_of: Mapping[int, int | None],
+    value_of: Callable[[int], int],
+    rng: random.Random,
+) -> dict[int, int]:
+    """Uninstrumented mirror of the tracked Anderson–Miller (small inputs).
+
+    Same splice logic and the same one-salt-per-round draws, so small
+    calls stay in rng lockstep with the tracked backend too.
+    """
+    from ..listrank.ranking import _coin
+
+    vset = set(vertices)
+    prv: dict[int, int | None] = {}
+    nxt: dict[int, int | None] = {v: None for v in vertices}
+    val: dict[int, int] = {}
+    for v in vertices:
+        p = prev_of.get(v)
+        prv[v] = p if (p is not None and p in vset) else None
+        val[v] = value_of(v)
+    for v in vertices:
+        p = prv[v]
+        if p is not None:
+            nxt[p] = v
+    heads = [v for v in vertices if prv[v] is None]
+    live = [v for v in vertices if prv[v] is not None]
+    rounds: list[list[tuple[int, int, int]]] = []
+    guard = 0
+    while live:
+        guard += 1
+        if guard > 4 * (len(vertices).bit_length() + 2) ** 2 + 64:
+            raise RuntimeError("anderson-miller failed to converge (bug)")
+        salt = rng.getrandbits(62)
+        spliced: list[tuple[int, int, int]] = []
+        new_live: list[int] = []
+        for v in live:
+            p = prv[v]
+            if _coin(v, salt) and not _coin(p, salt):
+                spliced.append((v, p, val[v]))
+            else:
+                new_live.append(v)
+        for v, p, _vv in spliced:
+            w = nxt[v]
+            nxt[p] = w
+            if w is not None:
+                prv[w] = p
+                val[w] += val[v]
+        if spliced:
+            rounds.append(spliced)
+        live = new_live
+    rank: dict[int, int] = {v: value_of(v) for v in heads}
+    for spliced in reversed(rounds):
+        for v, p, vv in spliced:
+            rank[v] = rank[p] + vv
+    return rank
+
+
 def prefix_sums_on_lists_np(
     t: Tracker | None,
     vertices: Sequence[int],
     prev_of: Mapping[int, int | None],
     value_of: Callable[[int], int],
+    method: str = "anderson-miller",
+    rng: random.Random | None = None,
 ) -> dict[int, int]:
     """Drop-in for :func:`repro.listrank.ranking.prefix_sums_on_lists`.
 
     Same contract: ``prev_of`` gives each vertex's predecessor (``None``
     at heads; predecessors outside ``vertices`` are treated as absent, so
     a caller can rank a suffix of a list). Returns ``{vertex: rank}``.
+
+    Engine selection: with ``method="anderson-miller"`` *and* a caller
+    ``rng``, the vectorized Anderson–Miller contraction runs and consumes
+    the identical ``rng`` draws the tracked backend would (lockstep —
+    see :func:`anderson_miller_ranks`); otherwise Wyllie pointer jumping
+    runs, which draws nothing — again matching the tracked backend's
+    consumption (``method="wyllie"`` never draws, and a tracked
+    Anderson–Miller call without a caller ``rng`` draws from its own
+    private generator).  Ranks are identical either way.
     """
     vs = list(vertices)
     if not vs:
         return {}
+    am_lockstep = method == "anderson-miller" and rng is not None
+    if am_lockstep and len(vs) < _SMALL:
+        if t is not None:
+            k = len(vs)
+            t.charge(3 * k, 3 * (log2_ceil(max(2, k)) + 1))
+        return _am_small(vs, prev_of, value_of, rng)
     k = len(vs)
     ids = np.fromiter(vs, dtype=np.int64, count=k)
     values = np.fromiter(map(value_of, vs), dtype=np.int64, count=k)
@@ -107,5 +282,8 @@ def prefix_sums_on_lists_np(
         pos_c = np.minimum(pos, k - 1)
         found = sorted_ids[pos_c] == prev_raw
         prev = np.where(found, order[pos_c], -1)
-    ranks = wyllie_ranks(prev, values, t)
+    if am_lockstep:
+        ranks = anderson_miller_ranks(ids, prev, values, rng, t)
+    else:
+        ranks = wyllie_ranks(prev, values, t)
     return dict(zip(vs, ranks.tolist()))

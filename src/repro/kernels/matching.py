@@ -6,17 +6,24 @@ edge set:
 
 1. draw one random priority per live edge;
 2. per-vertex minimum over incident live edges — a scatter-min
-   (``np.minimum.at``) of the raw float priorities (equivalently a
-   segment-min / ``np.minimum.reduceat`` over the CSR incidence lists,
-   but the scatter-min needs no per-round re-bucketing);
+   (``np.minimum.at``) over the live edges;
 3. an edge joins the matching iff it is the minimum at *both* endpoints;
 4. matched vertices kill their incident edges (one boolean gather).
 
-Float priorities can in principle collide (probability ~ ``k^2 / 2^53``
-per round); a collision that elects two edges at one vertex is detected
-by a bincount over the round's winners, and the round is then redone
-with exact integer ranks in the ``(priority, eid)`` total order — the
-same tie-break order the tracked code uses.
+Two entry points with different randomness contracts:
+
+* :func:`maximal_matching_np` — the drop-in behind
+  ``maximal_matching(..., backend="numpy")``.  It draws its per-round
+  priorities in **lockstep** with the tracked backend (same
+  ``random.Random`` stream, via :mod:`repro.kernels.rng`) and selects
+  winners by the exact ``(priority, eid)`` total order the tracked code
+  tie-breaks with — so for a given ``rng`` state the two backends return
+  the *identical* matching and leave the generator in the identical
+  state.  This is what makes whole-pipeline runs (``parallel_dfs``)
+  byte-identical across backends.
+* :func:`maximal_matching_arrays` / :func:`maximal_matching_graph` —
+  the raw array kernel over a ``numpy.random.Generator``; fastest, but
+  its matchings are not comparable to the tracked backend's.
 
 A constant fraction of live edges dies per round in expectation, so
 ``O(log m)`` rounds w.h.p. — identical round structure, different engine.
@@ -31,6 +38,7 @@ from typing import Sequence
 import numpy as np
 
 from ..pram.tracker import Tracker, log2_ceil
+from .rng import LockstepUniform
 
 __all__ = [
     "maximal_matching_arrays",
@@ -117,14 +125,53 @@ def maximal_matching_np(
 ) -> list[int]:
     """Drop-in for :func:`repro.matching.luby.maximal_matching`.
 
-    Deterministic given ``rng``: the numpy generator is seeded from it
-    (the drawn priorities differ from the tracked backend's, so the two
-    backends return different — but both valid maximal — matchings).
+    Byte-compatible with the tracked backend: each round draws one
+    priority per live edge from the *same* ``rng`` stream the tracked
+    code would consume (in live order), and winners are the per-vertex
+    minima in the ``(priority, eid)`` total order — the tracked
+    tie-break.  Identical matching, identical ``rng`` state afterwards.
     """
     rng = rng if rng is not None else random.Random(0xA11CE)
-    gen = np.random.default_rng(rng.getrandbits(64))
     edge_u, edge_v = _edge_arrays(edges)
-    return maximal_matching_arrays(t, n, edge_u, edge_v, gen).tolist()
+    m = int(edge_u.size)
+    matched = np.zeros(n, dtype=bool)
+    live = np.arange(m, dtype=np.int64)
+    chosen: list[np.ndarray] = []
+    logn = log2_ceil(max(2, n)) + 1
+
+    guard = 0
+    max_rounds = 8 * (max(2, m).bit_length() + 2) + 64
+    with LockstepUniform(rng) as uni:
+        while live.size:
+            guard += 1
+            if guard > max_rounds:
+                raise RuntimeError("luby matching failed to converge (bug)")
+            k = live.size
+            u = edge_u[live]
+            v = edge_v[live]
+            prio = uni.draw(k)
+            # per-vertex lexicographic min of (priority, eid): rank each
+            # live edge in that total order, then scatter-min the ranks
+            rank = np.empty(k, dtype=np.int64)
+            rank[np.lexsort((live, prio))] = np.arange(k, dtype=np.int64)
+            best = np.full(n, k, dtype=np.int64)
+            np.minimum.at(best, u, rank)
+            np.minimum.at(best, v, rank)
+            winners = live[(best[u] == rank) & (best[v] == rank)]
+            if winners.size:
+                chosen.append(winners)
+                matched[edge_u[winners]] = True
+                matched[edge_v[winners]] = True
+            live = live[~(matched[u] | matched[v])]
+            if t is not None:
+                # per round: draw + scatter-min + select + filter over k
+                # live edges, each O(1) span + the min-combining tree
+                t.charge(4 * k, 4 + logn + log2_ceil(max(2, k)))
+    if t is not None:
+        t.charge(n, 1)  # matched-flag initialization
+    if not chosen:
+        return []
+    return np.concatenate(chosen).tolist()
 
 
 def maximal_matching_graph(

@@ -246,19 +246,23 @@ def prefix_sums_on_lists(
 ) -> dict[int, int]:
     """Lemma 2.4 entry point: prefix sums on a union of disjoint lists.
 
-    ``backend="numpy"`` runs the vectorized Wyllie kernel
-    (:mod:`repro.kernels.listrank`) regardless of ``method`` — both
-    methods compute the exact same ranks, and on whole-array rounds
-    Wyllie's extra log factor of work costs only memory bandwidth. The
-    default ``"tracked"`` backend keeps the instrumented implementations
-    below as the work/span measurement instrument.
+    ``backend="numpy"`` runs the vectorized kernels in
+    :mod:`repro.kernels.listrank`: the lockstep Anderson–Miller
+    contraction when ``method="anderson-miller"`` and the caller passed
+    ``rng`` (it consumes the identical ``rng`` draws as the tracked
+    path, so a shared generator stays in sync across backends), and
+    Wyllie pointer jumping otherwise — both compute the exact same
+    ranks. The default ``"tracked"`` backend keeps the instrumented
+    implementations below as the work/span measurement instrument.
     """
     from ..kernels.dispatch import resolve_backend
 
     if resolve_backend(backend) == "numpy":
         from ..kernels.listrank import prefix_sums_on_lists_np
 
-        return prefix_sums_on_lists_np(t, vertices, prev_of, value_of)
+        return prefix_sums_on_lists_np(
+            t, vertices, prev_of, value_of, method=method, rng=rng
+        )
     if method == "wyllie":
         return wyllie_prefix_sums(t, vertices, prev_of, value_of)
     if method == "anderson-miller":

@@ -18,8 +18,22 @@ from hypothesis import strategies as st
 
 from repro.graph import Graph
 from repro.graph import generators as G
+from repro.graph.connectivity import (
+    component_sizes,
+    connected_components,
+    largest_component_size,
+    spanning_forest,
+)
 from repro.kernels import dispatch, euler, listrank, matching, scan
-from repro.kernels.dispatch import resolve_backend, set_default_backend, use_backend
+from repro.kernels.dispatch import (
+    get_kernel,
+    registered_kernels,
+    resolve_backend,
+    set_default_backend,
+    use_backend,
+)
+from repro.kernels.rng import LockstepUniform, randomstate_view, sync_python_rng
+from repro.kernels.subgraph import induced_subgraph_np
 from repro.listrank.ranking import (
     prefix_sums_on_lists,
     sequential_prefix_sums,
@@ -66,6 +80,25 @@ class TestDispatch:
             resolve_backend("cuda")
         with pytest.raises(ValueError):
             set_default_backend("cuda")
+
+    def test_unknown_backend_error_names_source(self, monkeypatch):
+        with pytest.raises(ValueError, match="backend argument"):
+            resolve_backend("cuda")
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "cuda")
+        set_default_backend(None)
+        with pytest.raises(ValueError, match="REPRO_KERNEL_BACKEND"):
+            resolve_backend(None)
+
+    def test_registry_lists_both_backends(self):
+        pairs = registered_kernels()
+        for op in ("connected_components", "spanning_forest",
+                   "component_sizes", "prefix_sums_on_lists",
+                   "maximal_matching"):
+            assert (op, "numpy") in pairs and (op, "tracked") in pairs
+        assert ("induced_subgraph", "numpy") in pairs
+        assert callable(get_kernel("connected_components", "numpy"))
+        with pytest.raises(KeyError):
+            get_kernel("quantum_sort", "numpy")
 
     def test_entry_points_pick_requested_backend(self):
         # the numpy scan kernel returns identical values but charges
@@ -397,7 +430,221 @@ class TestCSRCache:
 
 
 # ----------------------------------------------------------------------
-# whole-pipeline smoke: the numpy backend drives the real algorithm
+# rng lockstep bridge (random.Random <-> numpy RandomState)
+# ----------------------------------------------------------------------
+
+class TestRngBridge:
+    def test_view_reproduces_python_stream(self):
+        rng = random.Random(1234)
+        probe = random.Random(1234)
+        want = [probe.random() for _ in range(1000)]
+        got = randomstate_view(rng).random_sample(1000).tolist()
+        assert got == want
+
+    def test_sync_back_continues_the_stream(self):
+        rng = random.Random(77)
+        probe = random.Random(77)
+        _ = [probe.random() for _ in range(123)]
+        rs = randomstate_view(rng)
+        rs.random_sample(123)
+        sync_python_rng(rng, rs)
+        assert rng.getstate() == probe.getstate()
+        assert [rng.random() for _ in range(10)] == [
+            probe.random() for _ in range(10)
+        ]
+
+    def test_lockstep_uniform_noop_without_draws(self):
+        rng = random.Random(5)
+        state = rng.getstate()
+        with LockstepUniform(rng):
+            pass
+        assert rng.getstate() == state
+
+    def test_lockstep_matching_preserves_stream(self):
+        g = G.gnm_random_connected_graph(60, 150, seed=2)
+        r1, r2 = random.Random(42), random.Random(42)
+        a = maximal_matching(Tracker(), g.n, g.edges, r1, backend="tracked")
+        b = maximal_matching(Tracker(), g.n, g.edges, r2, backend="numpy")
+        assert a == b
+        assert r1.getstate() == r2.getstate()
+
+    @given(st.integers(2, 80), st.integers(0, 2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_lockstep_matching_random_graphs(self, n, seed):
+        rng = random.Random(seed)
+        m = rng.randrange(0, min(3 * n, n * (n - 1) // 2) + 1)
+        g = G.gnm_random_graph(n, m, seed=seed)
+        r1, r2 = random.Random(seed ^ 0xBEEF), random.Random(seed ^ 0xBEEF)
+        a = maximal_matching(Tracker(), g.n, g.edges, r1, backend="tracked")
+        b = maximal_matching(Tracker(), g.n, g.edges, r2, backend="numpy")
+        assert a == b and r1.getstate() == r2.getstate()
+
+    @given(st.integers(0, 250), st.integers(1, 8), st.integers(0, 2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_lockstep_anderson_miller_ranks_and_stream(self, n, k, seed):
+        rng = random.Random(seed)
+        vertices, prev_of, values = random_lists(rng, n, k)
+        r1, r2 = random.Random(seed ^ 0xA5), random.Random(seed ^ 0xA5)
+        a = prefix_sums_on_lists(
+            Tracker(), vertices, prev_of, values.get,
+            method="anderson-miller", rng=r1, backend="tracked",
+        )
+        b = prefix_sums_on_lists(
+            Tracker(), vertices, prev_of, values.get,
+            method="anderson-miller", rng=r2, backend="numpy",
+        )
+        assert a == b
+        assert r1.getstate() == r2.getstate()
+
+
+# ----------------------------------------------------------------------
+# connected components / spanning forest parity
+# ----------------------------------------------------------------------
+
+def edge_case_graphs():
+    return [
+        Graph(0),
+        Graph(1),
+        Graph(7),  # all isolated
+        Graph(2, [(0, 1)]),
+        Graph(6, [(0, 1), (1, 2), (3, 4)]),  # forest + isolated vertex
+        Graph(5, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]),  # cycle
+        Graph(4, [(0, 1), (0, 2), (0, 3)]),  # star
+    ]
+
+
+class TestComponentsParity:
+    @pytest.mark.parametrize("g", edge_case_graphs())
+    def test_edge_cases(self, g):
+        assert connected_components(g, Tracker()) == connected_components(
+            g, Tracker(), backend="numpy"
+        )
+        la, fa = spanning_forest(g, Tracker())
+        lb, fb = spanning_forest(g, Tracker(), backend="numpy")
+        assert la == lb and fa == fb
+
+    @given(st.integers(2, 90), st.integers(0, 2**31))
+    @settings(max_examples=50, deadline=None)
+    def test_labels_and_forest_identical_on_random_graphs(self, n, seed):
+        rng = random.Random(seed)
+        m = rng.randrange(0, min(3 * n, n * (n - 1) // 2) + 1)
+        g = G.gnm_random_graph(n, m, seed=seed)
+        assert connected_components(g, Tracker()) == connected_components(
+            g, Tracker(), backend="numpy"
+        )
+        la, fa = spanning_forest(g, Tracker())
+        lb, fb = spanning_forest(g, Tracker(), backend="numpy")
+        assert la == lb
+        assert fa == fb  # same edge ids in the same recording order
+
+    @given(st.integers(2, 90), st.integers(0, 2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_forest_is_valid_spanning_forest(self, n, seed):
+        rng = random.Random(seed)
+        m = rng.randrange(0, min(3 * n, n * (n - 1) // 2) + 1)
+        g = G.gnm_random_graph(n, m, seed=seed)
+        labels, forest = spanning_forest(g, Tracker(), backend="numpy")
+        comps = {tuple(sorted(c)) for c in g.connected_components_seq()}
+        # acyclic: |forest| == n - #components; spanning: the forest edges
+        # alone reproduce the component structure
+        assert len(forest) == g.n - len(comps)
+        h = Graph(g.n, [g.edges[eid] for eid in forest])
+        assert {tuple(sorted(c)) for c in h.connected_components_seq()} == comps
+        # labels are the component minima
+        for comp in comps:
+            assert all(labels[v] == comp[0] for v in comp)
+
+    def test_component_sizes_parity_and_largest(self):
+        g = G.gnm_random_graph(80, 70, seed=13)
+        labels = connected_components(g, Tracker())
+        assert component_sizes(labels, Tracker()) == component_sizes(
+            labels, Tracker(), backend="numpy"
+        )
+        assert largest_component_size(g, Tracker()) == largest_component_size(
+            g, Tracker(), backend="numpy"
+        )
+        assert component_sizes([], Tracker(), backend="numpy") == {}
+
+    def test_component_sizes_charges_combine_work(self):
+        t = Tracker()
+        component_sizes([0, 0, 1, 1, 1], t)
+        # per-element counting plus the combining tree must both cost work
+        assert t.work >= 2 * 5
+
+
+# ----------------------------------------------------------------------
+# induced subgraph extraction parity
+# ----------------------------------------------------------------------
+
+def graphs_equal(a, b):
+    return (
+        a.n == b.n
+        and a.edges == b.edges
+        and a.adj == b.adj
+        and a.adj_eids == b.adj_eids
+    )
+
+
+class TestSubgraphParity:
+    @given(st.integers(1, 70), st.integers(0, 2**31), st.booleans())
+    @settings(max_examples=50, deadline=None)
+    def test_subgraph_identical_including_adjacency(self, n, seed, shuffle):
+        rng = random.Random(seed)
+        m = rng.randrange(0, min(3 * n, n * (n - 1) // 2) + 1)
+        g = G.gnm_random_graph(n, m, seed=seed)
+        vs = rng.sample(range(n), rng.randrange(1, n + 1))
+        if not shuffle:
+            vs = sorted(vs)
+        s1, m1 = g.subgraph(vs)
+        s2, m2 = g.subgraph(vs, backend="numpy")
+        assert graphs_equal(s1, s2) and m1 == m2
+
+    @given(st.integers(1, 70), st.integers(0, 2**31))
+    @settings(max_examples=50, deadline=None)
+    def test_driver_induced_identical(self, n, seed):
+        from repro.core.dfs import _induced
+
+        rng = random.Random(seed)
+        m = rng.randrange(0, min(3 * n, n * (n - 1) // 2) + 1)
+        g = G.gnm_random_graph(n, m, seed=seed)
+        vs = sorted(rng.sample(range(n), rng.randrange(1, n + 1)))
+        t1, t2 = Tracker(), Tracker()
+        s1, m1 = _induced(g, vs, t1)
+        s2, m2 = _induced(g, vs, t2, backend="numpy")
+        assert graphs_equal(s1, s2) and m1 == m2
+        # the driver-level scan charge must be backend-independent
+        assert t1.work == t2.work and t1.span == t2.span
+
+    def test_empty_vertex_set(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        s, mp = g.subgraph([], backend="numpy")
+        assert s.n == 0 and s.m == 0 and mp == {}
+
+    def test_trusted_constructor_matches_incremental(self):
+        g = G.gnm_random_graph(40, 90, seed=3)
+        s1, _ = g.subgraph(list(range(0, 40, 2)))
+        s2, _ = g.subgraph(list(range(0, 40, 2)), backend="numpy")
+        assert graphs_equal(s1, s2)
+        # lazy edge set still answers has_edge / rejects duplicates
+        for u, v in s2.edges[:5]:
+            assert s2.has_edge(u, v) and s2.has_edge(v, u)
+        assert not s2.has_edge(0, 0)
+        if s2.m:
+            with pytest.raises(ValueError):
+                s2._add_edge(*s2.edges[0], False)
+        # and the CSR view built from trusted arrays is consistent
+        c = s2.csr()
+        for v in range(s2.n):
+            assert sorted(c.neighbors(v).tolist()) == sorted(s2.adj[v])
+
+    def test_induced_subgraph_np_rejects_bad_order(self):
+        g = Graph(2, [(0, 1)])
+        with pytest.raises(ValueError):
+            induced_subgraph_np(g, [0, 1], order="sideways")
+
+
+# ----------------------------------------------------------------------
+# whole-pipeline: the numpy backend drives the real algorithm
 # ----------------------------------------------------------------------
 
 class TestBackendEndToEnd:
@@ -415,3 +662,30 @@ class TestBackendEndToEnd:
         g = G.gnm_random_connected_graph(200, 500, seed=5)
         sep = build_separator(g, Tracker(), backend="numpy", verify=True)
         assert is_separator(g, sep.vertices)
+
+    @pytest.mark.parametrize("seed,n,m", [(7, 150, 400), (8, 400, 900)])
+    def test_parallel_dfs_identical_across_backends(self, seed, n, m):
+        from repro import parallel_dfs
+
+        g = G.gnm_random_connected_graph(n, m, seed=seed)
+        r1 = parallel_dfs(
+            g, 0, Tracker(), random.Random(123), kernel_backend="tracked"
+        )
+        r2 = parallel_dfs(
+            g, 0, Tracker(), random.Random(123), kernel_backend="numpy"
+        )
+        assert r1.parent == r2.parent
+        assert r1.depth == r2.depth
+        assert r1.levels == r2.levels
+
+    def test_phase_profile_recorded_in_stats(self):
+        from repro import parallel_dfs
+        from repro.analysis.metrics import phase_seconds
+
+        g = G.gnm_random_connected_graph(120, 300, seed=6)
+        res = parallel_dfs(g, 0, kernel_backend="numpy")
+        prof = phase_seconds(res.stats)
+        assert {"separator", "absorb", "components", "induce"} <= set(prof)
+        assert all(v >= 0.0 for v in prof.values())
+        # plain counters are untouched by the profiler keys
+        assert "components_processed" in res.stats
