@@ -1,0 +1,455 @@
+"""Differential fuzzing harness: tracked vs numpy vs brute-force oracles.
+
+The numpy kernel backend (docs/kernels.md) is an *execution engine*, not a
+different algorithm: every choice point in the DFS driver and the
+absorption substrate is canonicalized, so ``parallel_dfs(...,
+kernel_backend="numpy")`` must return byte-identical trees, depths, and
+integer work counters. This module turns that contract into a randomized
+test: it draws graphs from every generator family
+(:data:`repro.graph.generators.FAMILIES`) and random operation sequences
+for the Lemma 5.1 absorption structure, runs them under both backends,
+and cross-checks the results against each other and against brute-force
+oracles (:mod:`repro.core.verify` for trees, a dict/set reference model
+for the structure).
+
+Two kinds of cases:
+
+* **DFS cases** (:func:`check_dfs_case`) — a full ``parallel_dfs`` run on
+  a random family instance under both backends: identical parent/depth
+  maps, identical integer ``stats`` counters, the
+  :func:`~repro.core.verify.explain_dfs_tree` oracle returns ``None``,
+  and work/span stay inside the theorem envelopes (a bound-regression
+  gate on every fuzz case, not just the pinned benchmark sizes).
+
+* **Op-sequence cases** (:func:`check_ops_case`) — a random sequence of
+  ``set_separator`` / ``unset_separator`` / ``set_tree_neighbor`` /
+  ``batch_delete`` calls applied in lockstep to one
+  :class:`~repro.structures.absorb_ds.AbsorptionStructure` per backend
+  and to :class:`NaiveAbsorptionModel` (BFS recomputation). After every
+  step the Lemma 5.1 queries (``find_cc``, ``lowest_node``,
+  ``find_path_s2p``), connectivity, and the spanning forest must agree
+  across all three. Ops are *abstract* (indices modulo the alive set),
+  so any integer tuple list is a valid case — which is what lets the
+  hypothesis wrappers in ``tests/fuzz/`` shrink counterexamples.
+
+CLI (used by CI with a fixed seed and a ~30 s budget)::
+
+    python -m repro.analysis.fuzz --budget 30 --seed 0 --min-cases 500
+
+Exits non-zero and prints reproduction parameters on any divergence.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+from typing import Sequence
+
+from ..core.dfs import parallel_dfs
+from ..core.verify import explain_dfs_tree, tree_depths
+from ..graph.generators import FAMILIES, make_family
+from ..graph.graph import Graph
+from ..pram.tracker import Tracker
+from ..structures.absorb_ds import AbsorptionStructure
+
+__all__ = [
+    "FUZZ_FAMILIES",
+    "NaiveAbsorptionModel",
+    "check_dfs_case",
+    "check_ops_case",
+    "make_ops",
+    "run",
+    "main",
+]
+
+#: families the harness draws from (all of FAMILIES; listed explicitly so
+#: a new family must be added here consciously, with size ranges in mind)
+FUZZ_FAMILIES = [
+    "gnm", "grid", "tree", "regular", "path", "smallworld",
+    "spider", "cycletree", "bipartite", "powerlaw",
+]
+
+_BACKENDS = ("tracked", "numpy")
+
+
+def _int_stats(stats: dict) -> dict:
+    """Deterministic work counters only (drop wall-clock phase timings)."""
+    return {k: v for k, v in stats.items() if isinstance(v, int)}
+
+
+# ----------------------------------------------------------------------
+# DFS differential cases
+# ----------------------------------------------------------------------
+
+def check_dfs_case(
+    family: str, n: int, graph_seed: int, rng_seed: int, root: int = 0
+) -> None:
+    """One differential DFS case; raises AssertionError on any divergence.
+
+    Runs ``parallel_dfs`` under both kernel backends with identical
+    driver rng, then checks backend identity, the brute-force DFS-tree
+    oracle, depth consistency, and the work/span theorem envelopes.
+    """
+    g = make_family(family, n, seed=graph_seed)
+    root = root % g.n
+    results = {}
+    trackers = {}
+    for kb in _BACKENDS:
+        t = Tracker()
+        results[kb] = parallel_dfs(
+            g, root, tracker=t, rng=random.Random(rng_seed),
+            kernel_backend=kb,
+        )
+        trackers[kb] = t
+    r_tr, r_np = results["tracked"], results["numpy"]
+    assert r_tr.parent == r_np.parent, (
+        f"parent maps diverge: {sorted(set(r_tr.parent.items()) ^ set(r_np.parent.items()))[:6]}"
+    )
+    assert r_tr.depth == r_np.depth, "depth maps diverge"
+    assert _int_stats(r_tr.stats) == _int_stats(r_np.stats), (
+        f"stats diverge: tracked={_int_stats(r_tr.stats)} numpy={_int_stats(r_np.stats)}"
+    )
+    # brute-force oracle
+    err = explain_dfs_tree(g, root, r_tr.parent)
+    assert err is None, f"oracle: {err}"
+    assert tree_depths(r_tr.parent, root) == r_tr.depth, "depths inconsistent"
+    # bound-regression gate: the theorem envelopes, generously scaled
+    logn = max(2, g.n).bit_length()
+    t = trackers["tracked"]
+    assert t.work <= 30 * (g.m + g.n) * logn**2, (
+        f"work envelope: {t.work} > 30*(m+n)*log^2"
+    )
+    sqrt_n = int(g.n ** 0.5) + 1
+    assert t.span <= 600 * sqrt_n * logn**3, (
+        f"span envelope: {t.span} > 600*sqrt(n)*log^3"
+    )
+
+
+# ----------------------------------------------------------------------
+# Absorption structure op-sequence cases
+# ----------------------------------------------------------------------
+
+class NaiveAbsorptionModel:
+    """Brute-force reference for the Lemma 5.1 structure.
+
+    Recomputes everything from scratch (BFS over the alive subgraph);
+    mirrors the canonical tie-breaks of the real structure: ``find_cc``
+    is the minimum-id remaining separator vertex, ``lowest`` is the
+    (max depth, then min vertex) witness in a component, witnesses keep
+    the (depth, vertex) lex-max update and only improve on strictly
+    larger depth.
+    """
+
+    def __init__(self, g: Graph) -> None:
+        self.g = g
+        self.alive: set[int] = set(range(g.n))
+        self.q: set[int] = set()
+        self.witness: dict[int, tuple[int, int]] = {}
+
+    def component(self, v: int) -> set[int]:
+        seen = {v}
+        frontier = [v]
+        while frontier:
+            nxt = []
+            for u in frontier:
+                for w in self.g.adj[u]:
+                    if w in self.alive and w not in seen:
+                        seen.add(w)
+                        nxt.append(w)
+            frontier = nxt
+        return seen
+
+    def set_separator(self, vs: Sequence[int]) -> None:
+        self.q.update(vs)
+
+    def unset_separator(self, vs: Sequence[int]) -> None:
+        self.q.difference_update(vs)
+
+    def set_tree_neighbor(self, v: int, x: int, d: int) -> None:
+        cur = self.witness.get(v)
+        if cur is None or d > cur[0]:
+            self.witness[v] = (d, x)
+
+    def batch_delete(self, pairs: Sequence[tuple[int, int]]) -> None:
+        depth_of = dict(pairs)
+        dead = set(depth_of)
+        updates: dict[int, tuple[int, int]] = {}
+        for v in dead:
+            for w in self.g.adj[v]:
+                if w in dead or w not in self.alive:
+                    continue
+                cur = updates.get(w)
+                if cur is None or (depth_of[v], v) > cur:
+                    updates[w] = (depth_of[v], v)
+        for v in dead:
+            self.alive.discard(v)
+            self.q.discard(v)
+            self.witness.pop(v, None)
+        for nb, (d, w) in updates.items():
+            self.set_tree_neighbor(nb, w, d)
+
+    def find_cc(self) -> int | None:
+        return min(self.q) if self.q else None
+
+    def lowest_node(self, q: int) -> tuple[int, int, int] | None:
+        comp = self.component(q)
+        cands = [(-self.witness[v][0], v) for v in comp if v in self.witness]
+        if not cands:
+            return None
+        _, v = min(cands)
+        d, x = self.witness[v]
+        return v, x, d
+
+
+def make_ops(rng: random.Random, steps: int) -> list[tuple]:
+    """A random abstract op sequence (indices resolved modulo alive set)."""
+    ops: list[tuple] = [
+        ("flag", [rng.randrange(64) for _ in range(rng.randrange(1, 6))]),
+        ("witness", rng.randrange(64), rng.randrange(64), rng.randrange(32)),
+    ]
+    for _ in range(steps):
+        r = rng.random()
+        if r < 0.20:
+            ops.append(
+                ("flag", [rng.randrange(64) for _ in range(rng.randrange(1, 4))])
+            )
+        elif r < 0.30:
+            ops.append(
+                ("unflag", [rng.randrange(64) for _ in range(rng.randrange(1, 3))])
+            )
+        elif r < 0.55:
+            ops.append(
+                ("witness", rng.randrange(64), rng.randrange(64), rng.randrange(32))
+            )
+        else:
+            ops.append(
+                (
+                    "delete",
+                    [rng.randrange(64) for _ in range(rng.randrange(1, 4))],
+                    [rng.randrange(32) for _ in range(3)],
+                )
+            )
+    return ops
+
+
+def _resolve(op: tuple, model: NaiveAbsorptionModel, g: Graph):
+    """Map an abstract op onto the current alive set (None = no-op)."""
+    alive = sorted(model.alive)
+    if not alive:
+        return None
+    kind = op[0]
+    if kind in ("flag", "unflag"):
+        vs = sorted({alive[i % len(alive)] for i in op[1]})
+        if kind == "flag":
+            vs = [v for v in vs if v in model.alive]
+        return (kind, vs) if vs else None
+    if kind == "witness":
+        return (kind, alive[op[1] % len(alive)], op[2] % g.n, op[3] % 32)
+    if kind == "delete":
+        vs = sorted({alive[i % len(alive)] for i in op[1]})
+        depths = op[2] if len(op) > 2 and op[2] else [0]
+        return (kind, [(v, depths[j % len(depths)] % 32) for j, v in enumerate(vs)])
+    raise ValueError(f"unknown op kind {kind!r}")
+
+
+def _check_queries(
+    structs: dict[str, AbsorptionStructure],
+    model: NaiveAbsorptionModel,
+    g: Graph,
+) -> None:
+    q_exp = model.find_cc()
+    for kb, s in structs.items():
+        got = s.find_cc()
+        assert got == q_exp, f"find_cc[{kb}]: {got} != {q_exp}"
+    if q_exp is not None:
+        low_exp = model.lowest_node(q_exp)
+        if low_exp is not None:
+            for kb, s in structs.items():
+                got = s.lowest_node(q_exp)
+                assert got == low_exp, f"lowest_node[{kb}]: {got} != {low_exp}"
+            v = low_exp[0]
+            paths = {kb: s.find_path_s2p(q_exp, v) for kb, s in structs.items()}
+            vals = list(paths.values())
+            assert all(p == vals[0] for p in vals), f"paths diverge: {paths}"
+            p = vals[0]
+            assert p[0] == v and p[-1] in model.q, f"bad path endpoints: {p}"
+            assert len(set(p)) == len(p), f"path repeats a vertex: {p}"
+            assert all(w not in model.q for w in p[:-1]), f"internal Q vertex: {p}"
+            edge_set = {(min(a, b), max(a, b)) for a, b in g.edges}
+            for a, b in zip(p, p[1:]):
+                assert (min(a, b), max(a, b)) in edge_set, f"non-edge in path: {p}"
+                assert a in model.alive and b in model.alive
+    # connectivity spot checks against the BFS model
+    alive = sorted(model.alive)
+    if len(alive) >= 2:
+        probes = [
+            (alive[0], alive[-1]),
+            (alive[len(alive) // 2], alive[-1]),
+            (alive[0], alive[len(alive) // 3]),
+        ]
+        for u, w in probes:
+            exp = w in model.component(u)
+            for kb, s in structs.items():
+                assert s.hdt.connected(u, w) == exp, (
+                    f"connected[{kb}]({u},{w}) != {exp}"
+                )
+    # the two backends must hold the *same* spanning forest
+    forests = {
+        kb: sorted(s.hdt.spanning_forest_edges()) for kb, s in structs.items()
+    }
+    vals = list(forests.values())
+    assert all(f == vals[0] for f in vals), f"forests diverge: {forests}"
+
+
+def check_ops_case(g: Graph, ops: Sequence[tuple]) -> None:
+    """Apply one abstract op sequence to all backends + the naive model,
+    comparing every Lemma 5.1 query after every step."""
+    structs = {
+        kb: AbsorptionStructure(g, kernel_backend=kb) for kb in _BACKENDS
+    }
+    model = NaiveAbsorptionModel(g)
+    _check_queries(structs, model, g)
+    for op in ops:
+        resolved = _resolve(op, model, g)
+        if resolved is None:
+            continue
+        kind = resolved[0]
+        if kind == "flag":
+            for s in structs.values():
+                s.set_separator(resolved[1])
+            model.set_separator(resolved[1])
+        elif kind == "unflag":
+            for s in structs.values():
+                s.unset_separator(resolved[1])
+            model.unset_separator(resolved[1])
+        elif kind == "witness":
+            _, v, x, d = resolved
+            for s in structs.values():
+                s.set_tree_neighbor(v, x, d)
+            model.set_tree_neighbor(v, x, d)
+        elif kind == "delete":
+            for s in structs.values():
+                s.batch_delete(resolved[1])
+            model.batch_delete(resolved[1])
+        _check_queries(structs, model, g)
+    for s in structs.values():
+        s.check_invariants()
+
+
+# ----------------------------------------------------------------------
+# budgeted runner / CLI
+# ----------------------------------------------------------------------
+
+def run(
+    budget: float = 30.0,
+    seed: int = 0,
+    max_cases: int | None = None,
+    min_cases: int = 0,
+    dfs_fraction: float = 0.35,
+    verbose: bool = False,
+) -> dict:
+    """Fuzz until the time budget is spent (and ``min_cases`` reached).
+
+    Returns a summary dict with ``cases``, ``failures`` (list of
+    (params, message) pairs), and ``elapsed``.
+    """
+    rng = random.Random(seed)
+    t0 = time.perf_counter()
+    cases = 0
+    dfs_cases = 0
+    ops_cases = 0
+    failures: list[tuple[dict, str]] = []
+    while True:
+        elapsed = time.perf_counter() - t0
+        if max_cases is not None and cases >= max_cases:
+            break
+        if elapsed >= budget and cases >= min_cases:
+            break
+        if rng.random() < dfs_fraction:
+            params = {
+                "kind": "dfs",
+                "family": rng.choice(FUZZ_FAMILIES),
+                "n": rng.randrange(16, 81),
+                "graph_seed": rng.randrange(1 << 16),
+                "rng_seed": rng.randrange(1 << 16),
+                "root": rng.randrange(1 << 16),
+            }
+            try:
+                check_dfs_case(
+                    params["family"], params["n"], params["graph_seed"],
+                    params["rng_seed"], params["root"],
+                )
+            except AssertionError as exc:
+                failures.append((params, str(exc)))
+            dfs_cases += 1
+        else:
+            params = {
+                "kind": "ops",
+                "family": rng.choice(FUZZ_FAMILIES),
+                "n": rng.randrange(8, 33),
+                "graph_seed": rng.randrange(1 << 16),
+                "ops_seed": rng.randrange(1 << 16),
+                "steps": rng.randrange(2, 9),
+            }
+            try:
+                g = make_family(
+                    params["family"], params["n"], seed=params["graph_seed"]
+                )
+                ops = make_ops(
+                    random.Random(params["ops_seed"]), params["steps"]
+                )
+                check_ops_case(g, ops)
+            except AssertionError as exc:
+                failures.append((params, str(exc)))
+            ops_cases += 1
+        cases += 1
+        if verbose and cases % 100 == 0:
+            print(
+                f"  ... {cases} cases ({dfs_cases} dfs / {ops_cases} ops), "
+                f"{len(failures)} failures, {elapsed:.1f}s",
+                flush=True,
+            )
+    return {
+        "cases": cases,
+        "dfs_cases": dfs_cases,
+        "ops_cases": ops_cases,
+        "failures": failures,
+        "elapsed": time.perf_counter() - t0,
+        "seed": seed,
+    }
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.analysis.fuzz", description=__doc__.split("\n")[0]
+    )
+    ap.add_argument("--budget", type=float, default=30.0,
+                    help="time budget in seconds (default 30)")
+    ap.add_argument("--seed", type=int, default=0,
+                    help="master seed (default 0: CI-reproducible)")
+    ap.add_argument("--cases", type=int, default=None,
+                    help="stop after exactly this many cases")
+    ap.add_argument("--min-cases", type=int, default=0,
+                    help="keep fuzzing past the budget until this many cases ran")
+    ap.add_argument("--verbose", action="store_true",
+                    help="progress line every 100 cases")
+    args = ap.parse_args(argv)
+    summary = run(
+        budget=args.budget, seed=args.seed, max_cases=args.cases,
+        min_cases=args.min_cases, verbose=args.verbose,
+    )
+    print(
+        f"fuzz: {summary['cases']} cases "
+        f"({summary['dfs_cases']} dfs, {summary['ops_cases']} ops), "
+        f"{len(summary['failures'])} divergences, "
+        f"{summary['elapsed']:.1f}s, seed={summary['seed']}"
+    )
+    for params, msg in summary["failures"][:10]:
+        print(f"  FAIL {params}: {msg}")
+    return 1 if summary["failures"] else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -101,7 +101,8 @@ def absorb_separator(
         to_global = {v: v for v in range(g.n)}
 
     ds = AbsorptionStructure(
-        g, tracker=t, backend=backend, global_of=to_global
+        g, tracker=t, backend=backend, global_of=to_global,
+        kernel_backend=kernel_backend,
     )
     pc = PathCollection()
     sep_vertices: list[int] = []

@@ -29,6 +29,10 @@ __all__ = [
     "broom_graph",
     "lollipop_graph",
     "barbell_graph",
+    "spider_graph",
+    "tree_of_cycles",
+    "random_bipartite_graph",
+    "powerlaw_graph",
     "gnm_random_graph",
     "gnm_random_connected_graph",
     "random_regular_graph",
@@ -310,12 +314,121 @@ def two_level_community_graph(
     return Graph(n, edges)
 
 
+def spider_graph(legs: int, leg_len: int) -> Graph:
+    """A hub with ``legs`` long paths hanging off it.
+
+    High-degree articulation point: every separator must pass through the
+    hub, and each absorption round exposes many tiny components at once.
+    """
+    edges = []
+    nxt = 1
+    for _ in range(legs):
+        prev = 0
+        for _ in range(leg_len):
+            edges.append((prev, nxt))
+            prev = nxt
+            nxt += 1
+    return Graph(nxt, edges)
+
+
+def tree_of_cycles(depth: int, cycle_len: int) -> Graph:
+    """Cycles arranged as a binary tree, joined by bridge edges.
+
+    Every deletion inside a cycle has a replacement edge (the other arc of
+    the cycle), while the bridges have none — exercises both outcomes of
+    the HDT replacement search.
+    """
+    edges = []
+    cycles = []
+    nxt = 0
+    for _ in range(2**depth - 1):
+        base = nxt
+        for i in range(cycle_len):
+            edges.append((base + i, base + (i + 1) % cycle_len))
+        cycles.append(base)
+        nxt += cycle_len
+    for i in range(1, len(cycles)):
+        parent = cycles[(i - 1) // 2]
+        edges.append((parent, cycles[i]))
+    return Graph(nxt, edges)
+
+
+def random_bipartite_graph(
+    n_left: int, n_right: int, m: int, seed: int = 0
+) -> Graph:
+    """Connected random bipartite graph (left ids 0..n_left-1, then right).
+
+    A random alternating spanning tree first (every new vertex attaches to
+    an already-connected vertex of the other side), then random cross
+    edges up to ``m``. Odd cycles are impossible, so the DFS tree's cross
+    edges always span exactly one level — a good adversary for the
+    comparability oracle.
+    """
+    if n_left < 1 or n_right < 1:
+        raise ValueError("need at least one vertex per side")
+    rng = random.Random(seed)
+    edges: set[tuple[int, int]] = {(0, n_left)}
+    conn_l = [0]
+    conn_r = [0]
+    pending = [("L", i) for i in range(1, n_left)]
+    pending += [("R", j) for j in range(1, n_right)]
+    rng.shuffle(pending)
+    for side, i in pending:
+        if side == "L":
+            edges.add((i, n_left + rng.choice(conn_r)))
+            conn_l.append(i)
+        else:
+            edges.add((rng.choice(conn_l), n_left + i))
+            conn_r.append(i)
+    max_m = n_left * n_right
+    m = min(m, max_m)
+    tries = 0
+    while len(edges) < m and tries < 100 * m:
+        tries += 1
+        key = (rng.randrange(n_left), n_left + rng.randrange(n_right))
+        edges.add(key)
+    return Graph(n_left + n_right, sorted(edges))
+
+
+def powerlaw_graph(n: int, attach: int = 3, seed: int = 0) -> Graph:
+    """Preferential attachment (Barabási–Albert): power-law degrees.
+
+    Starts from a small clique; each new vertex attaches to ``attach``
+    distinct existing vertices drawn proportionally to degree. Connected
+    by construction. The heavy-tailed degree sequence stresses the
+    incident-set sweeps of batch deletion.
+    """
+    if n < 2:
+        raise ValueError("need n >= 2")
+    rng = random.Random(seed)
+    core = min(attach + 1, n)
+    edges: set[tuple[int, int]] = set()
+    for i in range(core):
+        for j in range(i + 1, core):
+            edges.add((i, j))
+    # degree-proportional sampling via the repeated-endpoints list
+    rep = [v for e in edges for v in e]
+    if not rep:  # n == 2 .. attach+1 with core < 2 cannot happen (n>=2)
+        rep = [0]
+    for v in range(core, n):
+        k = min(attach, v)
+        chosen: set[int] = set()
+        while len(chosen) < k:
+            chosen.add(rep[rng.randrange(len(rep))])
+        for u in sorted(chosen):
+            edges.add((u, v))
+            rep.append(u)
+            rep.append(v)
+    return Graph(n, sorted(edges))
+
+
 # ----------------------------------------------------------------------
 # Named families for the benchmark sweeps
 # ----------------------------------------------------------------------
 
 def _fam_gnm(n: int, seed: int) -> Graph:
-    return gnm_random_connected_graph(n, 4 * n, seed=seed)
+    m = min(4 * n, n * (n - 1) // 2)
+    return gnm_random_connected_graph(n, m, seed=seed)
 
 
 def _fam_grid(n: int, seed: int) -> Graph:
@@ -340,7 +453,30 @@ def _fam_smallworld(n: int, seed: int) -> Graph:
     return small_world_graph(n, k=6, beta=0.1, seed=seed)
 
 
-#: family name -> generator(n, seed). Used by the E1/E2/E9 sweeps.
+def _fam_spider(n: int, seed: int) -> Graph:
+    legs = max(2, int(round(n ** 0.5)))
+    leg_len = max(1, (n - 1) // legs)
+    return spider_graph(legs, leg_len)
+
+
+def _fam_cycletree(n: int, seed: int) -> Graph:
+    cycle_len = 7
+    depth = max(1, (n // cycle_len + 1).bit_length() - 1)
+    return tree_of_cycles(depth, cycle_len)
+
+
+def _fam_bipartite(n: int, seed: int) -> Graph:
+    n_left = max(1, n // 2)
+    n_right = max(1, n - n_left)
+    return random_bipartite_graph(n_left, n_right, 3 * n, seed=seed)
+
+
+def _fam_powerlaw(n: int, seed: int) -> Graph:
+    return powerlaw_graph(n, attach=3, seed=seed)
+
+
+#: family name -> generator(n, seed). Used by the E1/E2/E9 sweeps and the
+#: differential fuzz harness (repro.analysis.fuzz).
 FAMILIES: dict[str, Callable[[int, int], Graph]] = {
     "gnm": _fam_gnm,
     "grid": _fam_grid,
@@ -348,6 +484,10 @@ FAMILIES: dict[str, Callable[[int, int], Graph]] = {
     "regular": _fam_regular,
     "path": _fam_path,
     "smallworld": _fam_smallworld,
+    "spider": _fam_spider,
+    "cycletree": _fam_cycletree,
+    "bipartite": _fam_bipartite,
+    "powerlaw": _fam_powerlaw,
 }
 
 

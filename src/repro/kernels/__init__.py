@@ -32,7 +32,7 @@ from .dispatch import (
     set_default_backend,
     use_backend,
 )
-from . import scan, listrank, matching, euler, components, subgraph
+from . import scan, listrank, matching, euler, components, subgraph, absorb
 
 __all__ = [
     "BACKENDS",
@@ -49,6 +49,7 @@ __all__ = [
     "euler",
     "components",
     "subgraph",
+    "absorb",
 ]
 
 # numpy implementations of the operations the instrumented entry points
@@ -61,6 +62,10 @@ register_kernel("connected_components", "numpy", components.connected_components
 register_kernel("spanning_forest", "numpy", components.spanning_forest_np)
 register_kernel("component_sizes", "numpy", components.component_sizes_np)
 register_kernel("induced_subgraph", "numpy", subgraph.induced_subgraph_np)
+register_kernel("forest_euler_tours", "numpy", absorb.forest_euler_tours)
+register_kernel("nontree_counts", "numpy", absorb.nontree_counts_np)
+register_kernel("rc_coin_row", "numpy", absorb.rc_coin_row)
+register_kernel("witness_lexmax", "numpy", absorb.witness_lexmax_np)
 
 
 def _register_tracked() -> None:

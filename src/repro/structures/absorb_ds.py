@@ -38,9 +38,11 @@ Internally this combines, per Section 6.2:
 
 from __future__ import annotations
 
+from heapq import heappop, heappush
 from typing import Iterable, Sequence
 
 from ..graph.graph import Graph
+from ..kernels.dispatch import resolve_backend
 from ..pram.tracker import Tracker
 from .hdt import HDTConnectivity
 from .link_cut import LinkCutForest
@@ -63,14 +65,18 @@ class AbsorptionStructure:
         tracker: Tracker | None = None,
         backend: str = "rc",
         global_of: dict[int, int] | None = None,
+        kernel_backend: str | None = None,
     ) -> None:
         self.t = tracker if tracker is not None else Tracker()
         self.g = g
+        self.kernel_backend = resolve_backend(kernel_backend)
         #: optional alias map: when a vertex is deleted (absorbed into T'),
         #: its surviving neighbors record the witness under this name —
         #: lets a recursive caller keep witnesses in a global id space.
         self.global_of = global_of
-        self.hdt = HDTConnectivity(g, tracker=self.t)
+        self.hdt = HDTConnectivity(
+            g, tracker=self.t, kernel_backend=self.kernel_backend
+        )
         if backend == "lct":
             from .link_cut import LinkCutForest
 
@@ -78,13 +84,16 @@ class AbsorptionStructure:
         elif backend == "rc":
             from .rc_tree import RCForest
 
-            mirror = RCForest(g.n, tracker=self.t)
+            mirror = RCForest(
+                g.n, tracker=self.t, kernel_backend=self.kernel_backend
+            )
         elif backend == "rc-det":
             # Appendix C (D1): deterministic Cole–Vishkin compress
             from .rc_tree import RCForest
 
             mirror = RCForest(
-                g.n, tracker=self.t, compress_mode="deterministic"
+                g.n, tracker=self.t, compress_mode="deterministic",
+                kernel_backend=self.kernel_backend,
             )
         else:
             raise ValueError(f"unknown backend {backend!r}")
@@ -93,6 +102,9 @@ class AbsorptionStructure:
         self.mirror.batch_update([], self.hdt.spanning_forest_edges())
         #: separator vertices still present in H
         self.q_remaining: set[int] = set()
+        #: lazy-deletion min-heap over q_remaining, so find_cc returns the
+        #: canonical (minimum-id) separator vertex instead of set order
+        self._q_heap: list[int] = []
         #: v -> (depth, tree_vertex) of v's lowest-depth T' neighbor
         self.low_witness: dict[int, tuple[int, int]] = {}
         #: vertices already deleted (absorbed into T')
@@ -110,7 +122,9 @@ class AbsorptionStructure:
             t.op(1)
             if v in self.deleted:
                 raise ValueError(f"vertex {v} already absorbed")
-            self.q_remaining.add(v)
+            if v not in self.q_remaining:
+                self.q_remaining.add(v)
+                heappush(self._q_heap, v)
             self.mirror.set_flag(v, True)
 
         t.parallel_for(vs, flag)
@@ -147,11 +161,20 @@ class AbsorptionStructure:
     # ------------------------------------------------------------------
     def find_cc(self) -> int | None:
         """A separator vertex identifying a component with Q-vertices left,
-        or None (= the paper's *Success*). O(1)."""
+        or None (= the paper's *Success*). O(1) amortized.
+
+        Canonical: always the *minimum-id* remaining separator vertex (a
+        lazy-deletion heap; each stale pop is paid for by the flag that
+        pushed it), never whatever CPython set iteration yields first.
+        """
         self.t.op(1)
         if not self.q_remaining:
             return None
-        return next(iter(self.q_remaining))
+        heap = self._q_heap
+        while heap[0] not in self.q_remaining:
+            self.t.op(1)
+            heappop(heap)
+        return heap[0]
 
     def lowest_node(self, q: int) -> tuple[int, int, int]:
         """In q's component: ``(v, x, depth_x)`` where v's T'-neighbor x is
@@ -197,8 +220,16 @@ class AbsorptionStructure:
         dead_set = set(dead)
         depth_of = dict(deleted)
 
-        # 1) snapshot surviving H-neighbors before the edges disappear
+        # 1) snapshot surviving H-neighbors before the edges disappear.
+        # Canonical reduction: each survivor keeps the (depth, vertex)
+        # lex-max witness — deepest new tree neighbor, ties to the larger
+        # absorbed vertex id — a scatter-max independent of the iteration
+        # order of the incident sets.
         neighbor_updates: dict[int, tuple[int, int]] = {}
+        use_np = self.kernel_backend == "numpy" and len(dead) > 1
+        trip_nb: list[int] = []
+        trip_d: list[int] = []
+        trip_v: list[int] = []
 
         def snapshot(v: int) -> None:
             t.op(1)
@@ -211,12 +242,22 @@ class AbsorptionStructure:
                 nb = w if u == v else u
                 if nb in dead_set:
                     continue
+                if use_np:
+                    trip_nb.append(nb)
+                    trip_d.append(d)
+                    trip_v.append(v)
+                    continue
                 cur = neighbor_updates.get(nb)
-                # keep the deepest new tree neighbor (lowest in the tree)
-                if cur is None or d > cur[0]:
+                if cur is None or (d, v) > cur:
                     neighbor_updates[nb] = (d, v)
 
         t.parallel_for(dead, snapshot)
+        if use_np:
+            from ..kernels.absorb import witness_lexmax_np
+
+            neighbor_updates = witness_lexmax_np(
+                self.g.n, trip_nb, trip_d, trip_v
+            )
 
         # 2) delete all incident edges from the HDT structure (one batch)
         eids: set[int] = set()

@@ -124,12 +124,16 @@ class EulerTourForest:
             agg2 += r.agg2
             if r.minv < minv:
                 minv = r.minv
+        # canonical argmin: ties on the key resolve to the smallest vertex
+        # id, so the winner is a function of the component's *contents*,
+        # never of the current splay shape (a bulk-built backend must
+        # agree with an incrementally-built one, see docs/kernels.md)
         k3 = x.key3 if x.is_vertex else _NO_KEY
         a3 = x.label if (x.is_vertex and x.key3 != _NO_KEY) else -1
-        if l is not None and l.agg3key < k3:
+        if l is not None and (l.agg3key, l.agg3arg) < (k3, a3):
             k3 = l.agg3key
             a3 = l.agg3arg
-        if r is not None and r.agg3key < k3:
+        if r is not None and (r.agg3key, r.agg3arg) < (k3, a3):
             k3 = r.agg3key
             a3 = r.agg3arg
         x.size = size
@@ -380,8 +384,94 @@ class EulerTourForest:
         return None if node is None else node.label
 
     # ------------------------------------------------------------------
+    # bulk construction (numpy fast path; see kernels/absorb.py)
+    # ------------------------------------------------------------------
+    def build_from_tours(
+        self, tours: "list[list]", tag_min_arcs: bool = False
+    ) -> None:
+        """Bulk-build the forest from explicit Euler tour label sequences.
+
+        Each sequence interleaves vertex labels and directed arc labels
+        ``(u, v)`` in valid tour order (every vertex occurrence placed
+        immediately before one of its outgoing arcs, both arcs of every
+        edge present). The balanced trees are built bottom-up in O(total)
+        with no splays. With ``tag_min_arcs`` every ``(u, v)`` arc with
+        ``u < v`` gets ``val2 = 1`` (the "this is a level-i tree edge" tag
+        the HDT layers maintain).
+
+        Only valid on a pristine forest (no arcs yet); per-vertex values
+        (``val1``/``key3``) already set on the singleton nodes are folded
+        into the aggregates.
+        """
+        if self.arcs:
+            raise ValueError("build_from_tours requires an edgeless forest")
+        total = 0
+        for seq in tours:
+            nodes: list[TourNode] = []
+            for lab in seq:
+                if isinstance(lab, tuple):
+                    node = TourNode(lab, False)
+                    if tag_min_arcs and lab[0] < lab[1]:
+                        node.val2 = 1
+                    self.arcs[lab] = node
+                else:
+                    node = self.vnode[lab]
+                nodes.append(node)
+            total += len(nodes)
+            self._build_balanced(nodes, 0, len(nodes), None)
+        # one parallel bottom-up construction round per level of the
+        # balanced trees: O(total) work, O(log) span
+        self.t.charge(total, (max(2, total) - 1).bit_length() + 1)
+
+    def _build_balanced(
+        self, nodes: list[TourNode], lo: int, hi: int, parent: TourNode | None
+    ) -> TourNode | None:
+        if lo >= hi:
+            return None
+        mid = (lo + hi) // 2
+        x = nodes[mid]
+        x.parent = parent
+        x.left = self._build_balanced(nodes, lo, mid, x)
+        x.right = self._build_balanced(nodes, mid + 1, hi, x)
+        self._pull(x)
+        return x
+
+    # ------------------------------------------------------------------
     # enumeration (O(size of component); used on the *smaller* side only)
     # ------------------------------------------------------------------
+    def component_collect(
+        self, v: int
+    ) -> tuple[list[int], list[tuple[int, int]], list[int]]:
+        """One traversal of v's tree: ``(vertices, tagged_arcs, marked)``.
+
+        ``vertices`` are all vertex labels, ``tagged_arcs`` the arc labels
+        with ``val2 > 0`` (level-i tree edges), ``marked`` the vertex
+        labels with ``val1 > 0`` (vertices holding level-i non-tree
+        edges). This is the array-encoded read the canonical replacement
+        search of :meth:`repro.structures.hdt.HDTConnectivity.batch_delete`
+        runs on — one O(size) sweep instead of repeated aggregate-guided
+        descents, so the result is independent of the splay shape.
+        """
+        root = self._find_root(self.vnode[v])
+        verts: list[int] = []
+        arcs2: list[tuple[int, int]] = []
+        marked: list[int] = []
+        stack = [root]
+        while stack:
+            self.t.op(1)
+            x = stack.pop()
+            if x.is_vertex:
+                verts.append(x.label)
+                if x.val1 > 0:
+                    marked.append(x.label)
+            elif x.val2 > 0:
+                arcs2.append(x.label)
+            if x.left is not None:
+                stack.append(x.left)
+            if x.right is not None:
+                stack.append(x.right)
+        return verts, arcs2, marked
+
     def component_vertices(self, v: int) -> list[int]:
         root = self._find_root(self.vnode[v])
         out: list[int] = []
@@ -449,14 +539,24 @@ class EulerTourForest:
 
 def _wrap_primitive(cls, names):
     """Charge each listed public operation's span as one cited-primitive
-    depth (O(log n)) while keeping its measured work (Tracker.primitive)."""
+    depth (O(log n)) while keeping its measured work.
+
+    Semantically identical to wrapping the body in
+    ``Tracker.primitive(self._lg)``; inlined (save span, restore
+    ``s0 + _lg``) because these methods are the hottest call sites in the
+    absorption phase and the contextmanager protocol is measurable there.
+    """
     for name in names:
         fn = getattr(cls, name)
 
         def make(fn):
             def wrapper(self, *args, **kwargs):
-                with self.t.primitive(self._lg):
+                t = self.t
+                s0 = t.span
+                try:
                     return fn(self, *args, **kwargs)
+                finally:
+                    t.span = s0 + self._lg
 
             wrapper.__name__ = fn.__name__
             wrapper.__doc__ = fn.__doc__
@@ -483,5 +583,6 @@ _wrap_primitive(
         "find_vertex_with_val1",
         "find_arc_with_val2",
         "component_vertices",
+        "component_collect",
     ],
 )

@@ -41,6 +41,7 @@ from typing import Iterable, Sequence
 
 from ..graph.graph import Graph
 from ..graph.connectivity import spanning_forest
+from ..kernels.dispatch import resolve_backend
 from ..pram.tracker import Tracker
 from .euler_tour import EulerTourForest
 
@@ -70,24 +71,31 @@ class ForestChange:
 class HDTConnectivity:
     """HDT dynamic connectivity over an initial :class:`Graph`."""
 
-    def __init__(self, g: Graph, tracker: Tracker | None = None) -> None:
+    def __init__(
+        self,
+        g: Graph,
+        tracker: Tracker | None = None,
+        kernel_backend: str | None = None,
+    ) -> None:
         self.t = tracker if tracker is not None else Tracker()
         self.n = g.n
         self.L = max(1, (max(2, g.n) - 1).bit_length())
+        self.kernel_backend = resolve_backend(kernel_backend)
         #: endpoints per edge id (ids beyond the initial graph come from
         #: insert_edge)
         self.endpoints: list[tuple[int, int]] = list(g.edges)
         self.alive: list[bool] = [True] * g.m
         self.level: list[int] = [0] * g.m
         self.is_tree: list[bool] = [False] * g.m
-        #: one Euler tour forest per level (+1 slack for promotions at L)
+        #: one Euler tour forest per level, created lazily as promotions
+        #: reach higher levels (most components never leave level 0, and
+        #: eagerly allocating all L + 2 forests is O(n log n) memory)
         self.ett: list[EulerTourForest] = [
-            EulerTourForest(g.n, tracker=self.t) for _ in range(self.L + 2)
+            EulerTourForest(g.n, tracker=self.t)
         ]
         #: per level, per vertex: ids of live non-tree edges of that level
-        self.nontree: list[list[set[int]]] = [
-            [set() for _ in range(g.n)] for _ in range(self.L + 2)
-        ]
+        #: (grows in lockstep with ``ett``)
+        self.nontree: list[list[set[int]]] = [[set() for _ in range(g.n)]]
         #: live incident edge ids per vertex (for vertex deletion)
         self.incident: list[set[int]] = [set() for _ in range(g.n)]
         #: canonical (min,max) endpoint pair -> tree edge id, for arcs found
@@ -95,7 +103,10 @@ class HDTConnectivity:
         self._pair_to_eid: dict[tuple[int, int], int] = {}
 
         t = self.t
-        _, forest = spanning_forest(g, t)
+        _, forest = spanning_forest(g, t, backend=self.kernel_backend)
+        if self.kernel_backend == "numpy":
+            self._init_numpy(g, forest)
+            return
         in_forest = [False] * g.m
         for eid in forest:
             in_forest[eid] = True
@@ -125,6 +136,60 @@ class HDTConnectivity:
 
         t.parallel_for(range(g.n), set_counts)
 
+    def _init_numpy(self, g: Graph, forest: list[int]) -> None:
+        """Bulk initialization: build the level-0 Euler tours with the
+        vectorized [TV85] construction (``kernels/euler.py``) and balanced
+        bottom-up BSTs instead of ``m`` incremental splay links.
+
+        Produces the same logical state as the tracked path — identical
+        ``is_tree``/``nontree``/``incident``/``val1``/``val2`` contents over
+        the identical spanning forest — differing only in the (semantically
+        inert, since every read is canonicalized) splay tree shapes. Work is
+        charged in aggregate, PR 1 convention.
+        """
+        from ..kernels.absorb import forest_euler_tours, nontree_counts_np
+
+        t = self.t
+        ett0 = self.ett[0]
+        in_forest = [False] * g.m
+        tree_u: list[int] = []
+        tree_v: list[int] = []
+        for eid in forest:
+            in_forest[eid] = True
+            u, v = self.endpoints[eid]
+            self._pair_to_eid[(u, v)] = eid
+            self.is_tree[eid] = True
+            tree_u.append(u)
+            tree_v.append(v)
+        nontree0 = self.nontree[0]
+        nt_u: list[int] = []
+        nt_v: list[int] = []
+        for eid in range(g.m):
+            if in_forest[eid]:
+                continue
+            u, v = self.endpoints[eid]
+            nontree0[u].add(eid)
+            nontree0[v].add(eid)
+            nt_u.append(u)
+            nt_v.append(v)
+        self.incident = [set(eids) for eids in g.adj_eids]
+        counts = nontree_counts_np(g.n, nt_u, nt_v)
+        for v in counts.nonzero()[0]:
+            node = ett0.vnode[v]
+            node.val1 = node.agg1 = int(counts[v])
+        ett0.build_from_tours(
+            forest_euler_tours(g.n, tree_u, tree_v, t), tag_min_arcs=True
+        )
+        lg = (max(2, g.n) - 1).bit_length() + 1
+        t.charge(g.m + g.n, lg)
+
+    def _grow(self, i: int) -> EulerTourForest:
+        """The level-``i`` forest, materializing levels on first use."""
+        while len(self.ett) <= i:
+            self.ett.append(EulerTourForest(self.n, tracker=self.t))
+            self.nontree.append([set() for _ in range(self.n)])
+        return self.ett[i]
+
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
@@ -138,10 +203,15 @@ class HDTConnectivity:
         return self.ett[0].component_rep(v)
 
     def spanning_forest_edges(self) -> list[tuple[int, int]]:
-        """Current level-0 forest edges as (u, v) pairs (test support)."""
-        return [
+        """Current level-0 forest edges as sorted (u, v) pairs.
+
+        Sorted so downstream consumers (the RC mirror's cluster-id
+        allocation, tests) see a canonical order rather than dict order,
+        which would differ between the incremental and bulk init paths.
+        """
+        return sorted(
             pair for pair in self.ett[0].arcs if pair[0] < pair[1]
-        ]
+        )
 
     def edge_alive(self, eid: int) -> bool:
         return self.alive[eid]
@@ -336,51 +406,62 @@ class HDTConnectivity:
             t.op(1)
             self.ett[i].cut(u, v)
 
-        # search for a replacement from the edge's level downward
+        # search for a replacement from the edge's level downward. Every
+        # choice below is *canonical* — a function of the level-i component
+        # contents, never of the splay shapes or set iteration orders — so
+        # an incrementally-built structure and the numpy bulk-built one
+        # walk the identical promotion/replacement sequence.
         for i in range(l, -1, -1):
             su = self.ett[i].component_size(u)
             sv = self.ett[i].component_size(v)
             t.op(1)
             small = u if su <= sv else v
+            # one O(|small|) sweep replaces the aggregate-guided descents:
+            # the small side's vertices, its level-i tree edges, and the
+            # vertices holding level-i non-tree edges, all in one read
+            verts, arcs2, marked = self.ett[i].component_collect(small)
+            small_set = set(verts)
+            nxt = self._grow(i + 1)
 
             # 1) promote all level-i tree edges of the small side to i+1
-            while True:
-                arc = self.ett[i].find_arc_with_val2(small)
-                if arc is None:
-                    break
-                a, b = arc
-                key = (a, b) if a < b else (b, a)
+            #    (in sorted endpoint-pair order)
+            for key in sorted(arcs2):
+                a, b = key
                 f = self._pair_to_eid[key]
                 t.op(1)
                 self.level[f] = i + 1
                 self.ett[i].set_arc_val2(a, b, 0)
-                self.ett[i + 1].link(key[0], key[1])
-                self.ett[i + 1].set_arc_val2(key[0], key[1], 1)
+                nxt.link(a, b)
+                nxt.set_arc_val2(a, b, 1)
 
-            # 2) scan level-i non-tree edges on the small side
+            # 2) scan the small side's level-i non-tree edges in ascending
+            #    edge-id order; stop at the first edge leaving the side.
+            #    (Promotions above never cut ett[i], so "y is outside the
+            #    small side" is exactly "y not in small_set".)
+            cand: set[int] = set()
+            for x in marked:
+                s = self.nontree[i][x]
+                t.op(1 + len(s))
+                cand.update(s)
             replacement = None
-            while replacement is None:
-                x = self.ett[i].find_vertex_with_val1(small)
-                if x is None:
-                    break
-                f = next(iter(self.nontree[i][x]))
+            for f in sorted(cand):
                 a, b = self.endpoints[f]
-                y = b if a == x else a
                 t.op(1)
                 # remove f from level i bookkeeping either way
                 self.nontree[i][a].discard(f)
                 self.nontree[i][b].discard(f)
                 self.ett[i].add_vertex_val1(a, -1)
                 self.ett[i].add_vertex_val1(b, -1)
-                if self.ett[i].connected(x, y):
+                if a in small_set and b in small_set:
                     # internal to the small side: promote to level i+1
                     self.level[f] = i + 1
                     self.nontree[i + 1][a].add(f)
                     self.nontree[i + 1][b].add(f)
-                    self.ett[i + 1].add_vertex_val1(a, 1)
-                    self.ett[i + 1].add_vertex_val1(b, 1)
+                    nxt.add_vertex_val1(a, 1)
+                    nxt.add_vertex_val1(b, 1)
                 else:
                     replacement = f
+                    break
 
             if replacement is not None:
                 a, b = self.endpoints[replacement]
@@ -416,8 +497,8 @@ class HDTConnectivity:
                 assert self.ett[l].connected(u, v), (
                     f"non-tree edge {eid} endpoints not connected at level {l}"
                 )
-        # component size invariant
-        for i in range(self.L + 2):
+        # component size invariant (over the materialized levels)
+        for i in range(len(self.ett)):
             seen: set[int] = set()
             for v in range(n):
                 if v in seen:

@@ -1,0 +1,80 @@
+"""Hypothesis front-end for the differential fuzz harness.
+
+The budgeted CLI (``python -m repro.analysis.fuzz``) explores with raw
+seeds; these wrappers expose the same two case shapes to hypothesis so a
+divergence shrinks to a minimal family/size/op-sequence instead of an
+opaque seed. Op sequences are generated *structurally* (the abstract op
+tuples of :func:`repro.analysis.fuzz.check_ops_case`), which is what
+makes shrinking effective: hypothesis deletes ops and shrinks indices.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.fuzz import (
+    FUZZ_FAMILIES,
+    check_dfs_case,
+    check_ops_case,
+    run,
+)
+from repro.graph.generators import make_family
+
+def _settings(max_examples):
+    return settings(
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+        max_examples=max_examples,
+    )
+
+_idx = st.integers(0, 63)
+_depth = st.integers(0, 31)
+_op = st.one_of(
+    st.tuples(st.just("flag"), st.lists(_idx, min_size=1, max_size=4)),
+    st.tuples(st.just("unflag"), st.lists(_idx, min_size=1, max_size=3)),
+    st.tuples(st.just("witness"), _idx, _idx, _depth),
+    st.tuples(
+        st.just("delete"),
+        st.lists(_idx, min_size=1, max_size=3),
+        st.lists(_depth, min_size=1, max_size=3),
+    ),
+)
+
+
+class TestDFSDifferential:
+    @_settings(20)
+    @given(
+        family=st.sampled_from(FUZZ_FAMILIES),
+        n=st.integers(16, 60),
+        graph_seed=st.integers(0, 2**16 - 1),
+        rng_seed=st.integers(0, 2**16 - 1),
+        root=st.integers(0, 2**16 - 1),
+    )
+    def test_backends_and_oracle(self, family, n, graph_seed, rng_seed, root):
+        check_dfs_case(family, n, graph_seed, rng_seed, root)
+
+
+class TestOpsDifferential:
+    @_settings(30)
+    @given(
+        family=st.sampled_from(FUZZ_FAMILIES),
+        n=st.integers(8, 24),
+        graph_seed=st.integers(0, 2**16 - 1),
+        ops=st.lists(_op, max_size=8),
+    )
+    def test_lockstep_queries(self, family, n, graph_seed, ops):
+        g = make_family(family, n, seed=graph_seed)
+        check_ops_case(g, ops)
+
+
+class TestBudgetedRunner:
+    def test_short_run_is_clean(self):
+        summary = run(budget=2.0, seed=1234)
+        assert summary["cases"] > 0
+        assert summary["failures"] == []
+
+    def test_case_cap(self):
+        summary = run(budget=60.0, seed=7, max_cases=5)
+        assert summary["cases"] == 5

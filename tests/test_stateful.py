@@ -15,7 +15,10 @@ from hypothesis.stateful import (
     rule,
 )
 
+from repro.analysis.fuzz import NaiveAbsorptionModel
 from repro.graph import Graph
+from repro.graph import generators as G
+from repro.structures.absorb_ds import AbsorptionStructure
 from repro.structures.euler_tour import EulerTourForest
 from repro.structures.hdt import HDTConnectivity
 from repro.structures.link_cut import LinkCutForest
@@ -186,6 +189,100 @@ class HDTMachine(RuleBasedStateMachine):
         assert self.impl.connected(u, v) == model.connected(u, v)
 
 
+class AbsorptionMachine(RuleBasedStateMachine):
+    """Lemma 5.1 structure vs the naive dict/set model.
+
+    Random interleavings of separator flagging, witness publication and
+    batch deletion; every observable (find_cc, lowest_node, path shape,
+    connectivity, forest/mirror sync) must match the BFS-recompute model
+    after every step.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.g = G.gnm_random_connected_graph(N + 2, 3 * (N + 2), seed=7)
+        self.impl = AbsorptionStructure(self.g)
+        self.model = NaiveAbsorptionModel(self.g)
+
+    def _alive(self):
+        return sorted(self.model.alive)
+
+    @precondition(lambda self: self.model.alive)
+    @rule(data=st.data())
+    def flag(self, data):
+        vs = data.draw(
+            st.lists(st.sampled_from(self._alive()), min_size=1, max_size=4,
+                     unique=True)
+        )
+        self.impl.set_separator(vs)
+        self.model.set_separator(vs)
+
+    @precondition(lambda self: self.model.q)
+    @rule(data=st.data())
+    def unflag(self, data):
+        vs = data.draw(
+            st.lists(st.sampled_from(sorted(self.model.q)), min_size=1,
+                     max_size=3, unique=True)
+        )
+        self.impl.unset_separator(vs)
+        self.model.unset_separator(vs)
+
+    @precondition(lambda self: self.model.alive)
+    @rule(data=st.data(), x=st.integers(0, N + 1), d=st.integers(0, 20))
+    def witness(self, data, x, d):
+        v = data.draw(st.sampled_from(self._alive()))
+        self.impl.set_tree_neighbor(v, x, d)
+        self.model.set_tree_neighbor(v, x, d)
+
+    @precondition(lambda self: self.model.alive)
+    @rule(data=st.data(), d0=st.integers(0, 20))
+    def delete(self, data, d0):
+        vs = data.draw(
+            st.lists(st.sampled_from(self._alive()), min_size=1, max_size=3,
+                     unique=True)
+        )
+        pairs = [(v, d0 + j) for j, v in enumerate(sorted(vs))]
+        self.impl.batch_delete(pairs)
+        self.model.batch_delete(pairs)
+
+    @rule()
+    def query_find_cc(self):
+        assert self.impl.find_cc() == self.model.find_cc()
+
+    @precondition(lambda self: self.model.q)
+    @rule()
+    def query_lowest_and_path(self):
+        q = self.model.find_cc()
+        want = self.model.lowest_node(q)
+        if want is None:
+            return
+        got = self.impl.lowest_node(q)
+        assert got == want
+        v = want[0]
+        p = self.impl.find_path_s2p(q, v)
+        assert p[0] == v and p[-1] in self.model.q
+        assert len(set(p)) == len(p)
+        assert all(w not in self.model.q for w in p[:-1])
+        edge_set = {(min(a, b), max(a, b)) for a, b in self.g.edges}
+        for a, b in zip(p, p[1:]):
+            assert (min(a, b), max(a, b)) in edge_set
+            assert a in self.model.alive and b in self.model.alive
+
+    @precondition(lambda self: len(self.model.alive) >= 2)
+    @rule(data=st.data())
+    def query_connectivity(self, data):
+        alive = self._alive()
+        u = data.draw(st.sampled_from(alive))
+        w = data.draw(st.sampled_from(alive))
+        assert self.impl.hdt.connected(u, w) == (
+            w in self.model.component(u)
+        )
+
+    @invariant()
+    def structures_in_sync(self):
+        self.impl.check_invariants()
+
+
 class TournamentMachine(RuleBasedStateMachine):
     def __init__(self):
         super().__init__()
@@ -230,3 +327,5 @@ TestHDTStateful = HDTMachine.TestCase
 TestHDTStateful.settings = _settings
 TestTournamentStateful = TournamentMachine.TestCase
 TestTournamentStateful.settings = _settings
+TestAbsorptionStateful = AbsorptionMachine.TestCase
+TestAbsorptionStateful.settings = _settings

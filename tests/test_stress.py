@@ -18,35 +18,9 @@ from repro.structures.absorb_ds import AbsorptionStructure
 from repro.structures.hdt import HDTConnectivity
 from repro.structures.rc_tree import RCForest
 
-
-def spider_graph(legs: int, leg_len: int) -> Graph:
-    """A hub with `legs` long paths hanging off it."""
-    edges = []
-    nxt = 1
-    for _ in range(legs):
-        prev = 0
-        for _ in range(leg_len):
-            edges.append((prev, nxt))
-            prev = nxt
-            nxt += 1
-    return Graph(nxt, edges)
-
-
-def binary_tree_of_cycles(depth: int, cycle_len: int) -> Graph:
-    """Cycles arranged as a binary tree, joined by bridge edges."""
-    edges = []
-    cycles = []
-    nxt = 0
-    for _ in range(2**depth - 1):
-        base = nxt
-        for i in range(cycle_len):
-            edges.append((base + i, base + (i + 1) % cycle_len))
-        cycles.append(base)
-        nxt += cycle_len
-    for i in range(1, len(cycles)):
-        parent = cycles[(i - 1) // 2]
-        edges.append((parent, cycles[i]))
-    return Graph(nxt, edges)
+# promoted to repro.graph.generators for reuse by the fuzz harness
+spider_graph = G.spider_graph
+binary_tree_of_cycles = G.tree_of_cycles
 
 
 class TestAdversarialTopologies:
@@ -180,6 +154,62 @@ class TestSubstrateMixedWorkloads:
         f.batch_update([], path)
         assert len(f.roots()) == 1
         f.check_invariants()
+
+
+def _int_stats(stats: dict) -> dict:
+    """The deterministic work counters (drop wall-clock phase timings)."""
+    return {k: v for k, v in stats.items() if isinstance(v, int)}
+
+
+class TestCrossBackendFamilies:
+    """Differential check: numpy kernel backend is an execution engine,
+    not a different algorithm — identical trees, depths, and integer
+    work counters on every generator family."""
+
+    FAMS = ["spider", "cycletree", "bipartite", "powerlaw"]
+
+    @pytest.mark.parametrize("name", FAMS)
+    @pytest.mark.parametrize("n", [120, 300])
+    def test_backends_identical(self, name, n):
+        g = G.make_family(name, n, seed=9)
+        r_tr = parallel_dfs(
+            g, 0, rng=random.Random(99), kernel_backend="tracked",
+            verify=True,
+        )
+        r_np = parallel_dfs(
+            g, 0, rng=random.Random(99), kernel_backend="numpy",
+            verify=True,
+        )
+        assert r_tr.parent == r_np.parent
+        assert r_tr.depth == r_np.depth
+        assert _int_stats(r_tr.stats) == _int_stats(r_np.stats)
+
+    @pytest.mark.parametrize("name", FAMS)
+    def test_new_families_shapes(self, name):
+        g = G.make_family(name, 200, seed=3)
+        assert g.n > 0 and g.m >= g.n - 1
+        res = parallel_dfs(g, 0, verify=True)
+        assert is_valid_dfs_tree(g, 0, res.parent)
+
+    def test_bipartite_has_no_odd_cycles(self):
+        g = G.make_family("bipartite", 150, seed=4)
+        # 2-color by BFS; every edge must cross
+        color = {0: 0}
+        frontier = [0]
+        while frontier:
+            nxt = []
+            for v in frontier:
+                for w in g.adj[v]:
+                    if w not in color:
+                        color[w] = 1 - color[v]
+                        nxt.append(w)
+            frontier = nxt
+        assert all(color[u] != color[v] for u, v in g.edges)
+
+    def test_powerlaw_is_heavy_tailed(self):
+        g = G.make_family("powerlaw", 400, seed=6)
+        degs = sorted((len(g.adj[v]) for v in range(g.n)), reverse=True)
+        assert degs[0] >= 4 * degs[g.n // 2]  # hub >> median
 
 
 class TestScaleSmoke:

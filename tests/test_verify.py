@@ -87,6 +87,59 @@ class TestDFSTreeOracle:
         assert d == {0: 0, 1: 1, 2: 2, 3: 2}
 
 
+class TestDFSTreeOracleFailureModes:
+    """Every distinct failure message of explain_dfs_tree, each triggered
+    by the smallest graph that can reach it."""
+
+    def test_orphan_non_root(self):
+        g = G.path_graph(3)
+        reason = explain_dfs_tree(g, 0, {0: None, 1: None, 2: 1})
+        assert "has no parent but is not the root" in reason
+
+    def test_parent_outside_tree_multicomponent(self):
+        # parent points into another component: the vertex-set check cannot
+        # catch it (the map covers exactly root's component)
+        g = Graph(4, [(0, 1), (2, 3)])
+        reason = explain_dfs_tree(g, 0, {0: None, 1: 2})
+        assert "not in the tree" in reason
+
+    def test_extra_vertex_from_other_component(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        reason = explain_dfs_tree(g, 0, {0: None, 1: 0, 2: None})
+        assert "wrong vertex set" in reason and "extra=[2]" in reason
+
+    def test_missing_vertex_reported(self):
+        g = G.path_graph(3)
+        reason = explain_dfs_tree(g, 0, {0: None, 1: 0})
+        assert "missing=[2]" in reason
+
+    def test_unreachable_cycle_reported(self):
+        # 2 and 3 parent each other: no double-reach from the root side,
+        # so this surfaces as unreachable vertices
+        g = G.cycle_graph(4)
+        reason = explain_dfs_tree(g, 0, {0: None, 1: 0, 2: 3, 3: 2})
+        assert "not reachable" in reason
+
+    def test_cross_edge_names_endpoints(self):
+        g = G.cycle_graph(6)
+        parent = {0: None, 1: 0, 5: 0, 2: 1, 4: 5, 3: 2}
+        reason = explain_dfs_tree(g, 0, parent)
+        assert "cross edge" in reason and "incomparable" in reason
+
+    def test_self_parent_rejected(self):
+        g = G.path_graph(3)
+        reason = explain_dfs_tree(g, 0, {0: None, 1: 1, 2: 1})
+        assert "not a graph edge" in reason
+
+    def test_multicomponent_valid_tree_ignores_other_components(self):
+        g = Graph(6, [(0, 1), (1, 2), (3, 4), (4, 5)])
+        assert explain_dfs_tree(g, 3, {3: None, 4: 3, 5: 4}) is None
+
+    def test_root_only_tree_single_vertex_component(self):
+        g = Graph(3, [(1, 2)])
+        assert explain_dfs_tree(g, 0, {0: None}) is None
+
+
 class TestInitialSegment:
     def test_root_alone(self):
         g = G.gnm_random_connected_graph(10, 20, seed=1)
@@ -131,6 +184,39 @@ class TestInitialSegment:
         assert is_initial_segment(g, 0, chain)
 
 
+class TestInitialSegmentFailureModes:
+    def test_missing_root(self):
+        g = G.path_graph(3)
+        assert not is_initial_segment(g, 0, {1: None, 2: 1})
+
+    def test_root_with_parent(self):
+        g = G.path_graph(3)
+        assert not is_initial_segment(g, 0, {0: 1, 1: None})
+
+    def test_tree_link_not_an_edge(self):
+        g = G.path_graph(4)
+        assert not is_initial_segment(g, 0, {0: None, 1: 0, 3: 1})
+
+    def test_parent_cycle_rejected(self):
+        g = G.cycle_graph(4)
+        assert not is_initial_segment(g, 0, {0: None, 1: 0, 2: 3, 3: 2})
+
+    def test_root_only_segment_always_extendable(self):
+        # a bare root is an initial segment of any graph it lives in
+        for g in (G.path_graph(5), G.complete_graph(4), Graph(1, [])):
+            assert is_initial_segment(g, 0, {0: None})
+
+    def test_root_only_on_multicomponent_graph(self):
+        g = Graph(5, [(0, 1), (1, 2), (3, 4)])
+        assert is_initial_segment(g, 0, {0: None})
+        assert is_initial_segment(g, 3, {3: None})
+
+    def test_other_components_never_blocking(self):
+        # a whole second component is outside T' but touches no tree vertex
+        g = Graph(6, [(0, 1), (0, 2), (3, 4), (4, 5), (3, 5)])
+        assert is_initial_segment(g, 0, {0: None, 1: 0})
+
+
 class TestSeparatorOracle:
     def test_middle_of_path(self):
         g = G.path_graph(9)
@@ -153,6 +239,24 @@ class TestSeparatorOracle:
 
     def test_empty_graph(self):
         assert is_separator(Graph(0), set())
+
+    def test_multicomponent_balanced_needs_no_separator(self):
+        # two components of size n/2 each: empty set already separates
+        g = Graph(6, [(0, 1), (1, 2), (3, 4), (4, 5)])
+        assert is_separator(g, set())
+
+    def test_multicomponent_large_component_dominates(self):
+        # the big component (5 of 7 vertices) exceeds n/2 on its own
+        g = Graph(7, [(0, 1), (1, 2), (2, 3), (3, 4), (5, 6)])
+        assert not is_separator(g, set())
+        assert is_separator(g, {2})
+        # trimming one endpoint still leaves a size-4 component > 7/2
+        assert not is_separator(g, {0})
+
+    def test_isolated_vertices_count_toward_n(self):
+        # path of 3 + three isolated vertices: n=6, largest comp 3 <= 3
+        g = Graph(6, [(0, 1), (1, 2)])
+        assert is_separator(g, set())
 
 
 class TestPathCollectionOracle:
