@@ -14,7 +14,7 @@ import random
 from conftest import publish
 
 from repro.analysis import format_table, geometric_sizes
-from repro.matching.coloring import cole_vishkin_3color, path_mis_deterministic
+from repro.matching.coloring import path_mis_deterministic
 from repro.pram import Tracker
 
 

@@ -8,7 +8,6 @@ rescanning structure, whose cost degrades as the graph dies.
 
 from __future__ import annotations
 
-import random
 
 from conftest import publish
 

@@ -14,7 +14,6 @@ from conftest import publish
 
 from repro.analysis import format_table, geometric_sizes
 from repro.graph.generators import random_tree
-from repro.pram import Tracker
 from repro.structures.rc_tree import RCForest
 
 

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import random
-import time
 from typing import Callable
 
 from ..baselines.aa87_model import aa87_cost_model

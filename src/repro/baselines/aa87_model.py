@@ -24,7 +24,6 @@ from __future__ import annotations
 
 import math
 
-from ..graph.graph import Graph
 from ..pram.tracker import Cost
 
 __all__ = ["aa87_cost_model"]

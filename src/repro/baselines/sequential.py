@@ -13,7 +13,6 @@ experiment E2/E9.
 from __future__ import annotations
 
 import random
-from typing import Mapping
 
 from ..graph.graph import Graph
 from ..pram.tracker import Tracker

@@ -21,7 +21,7 @@ import argparse
 import random
 import sys
 
-from .analysis.metrics import Measurement, format_table, loglog_slope
+from .analysis.metrics import format_table, loglog_slope
 from .analysis.runner import ALGORITHMS, sweep
 from .baselines.sequential import sequential_dfs
 from .core.dfs import parallel_dfs

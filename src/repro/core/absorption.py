@@ -35,7 +35,7 @@ parent level — and the structure keeps all witnesses in global ids.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
 from ..graph.graph import Graph

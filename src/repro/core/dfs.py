@@ -187,15 +187,14 @@ def parallel_dfs(
             rsub, rmap = _induced(sub, remaining, t, backend=kb)
         with prof.phase("components"):
             rlabels = connected_components(rsub, t, backend=kb)
-            grouped = _group_by_label(rlabels, remaining, rmap, kb)
-            # parallel grouping (semisort): O(k) work, O(log) span
-            t.charge(len(rlabels), log2_ceil(max(2, len(rlabels))) + 1)
+            grouped = _group_by_label(rlabels, remaining, rmap, kb, t)
 
         ds = outcome.structure
         tasks = []
         for comp_local in grouped:
             if verify:
-                assert len(comp_local) <= len(vertices) / 2, (
+                # 2*|C| <= |V| is the exact integer form of |C| <= |V|/2
+                assert 2 * len(comp_local) <= len(vertices), (
                     "separator absorption left an oversized component"
                 )
             v_local, x_global, dx = ds.lowest_node(comp_local[0])
@@ -234,7 +233,8 @@ def parallel_dfs(
 
 
 def _group_by_label(
-    rlabels: list[int], remaining: list[int], rmap: dict[int, int], kb: str
+    rlabels: list[int], remaining: list[int], rmap: dict[int, int], kb: str,
+    t: Tracker,
 ) -> list[list[int]]:
     """Component groups (lists of local ids) in ascending label order.
 
@@ -242,6 +242,8 @@ def _group_by_label(
     label, members in ``rlabels`` index order (``remaining[ri]`` is the
     local id of index ``ri``).
     """
+    # parallel grouping (semisort): O(k) work, O(log) span
+    t.charge(len(rlabels), log2_ceil(max(2, len(rlabels))) + 1)
     if kb == "numpy" and rlabels:
         import numpy as np
 

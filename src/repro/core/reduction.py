@@ -75,7 +75,8 @@ def paths_form_separator(
     if not labels:
         return True
     sizes = component_sizes(labels, t, backend=kb)
-    return max(sizes.values()) <= g.n / 2
+    # 2*size <= n is the exact integer form of size <= n/2
+    return 2 * max(sizes.values()) <= g.n
 
 
 def split_short_at(
@@ -228,7 +229,7 @@ def reduce_paths(
             # tighter target): return so the caller re-partitions L/S fresh
             break
 
-        if len(res.p1) < k / 12:
+        if 12 * len(res.p1) < k:  # exact integer form of |P1| < k/12
             # Lemma A.2: too few matched paths — one of the two candidates
             # is a strictly smaller separator. (Below the 48√n regime the
             # counting guarantee can fail benignly; we then return the

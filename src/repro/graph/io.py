@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import TextIO
 
 from .graph import Graph
 
@@ -104,12 +103,14 @@ def save_dfs_tree(
     depth: dict[int, int] | None = None,
 ) -> None:
     """Persist a DFS tree as JSON."""
+    # sorted: the JSON bytes are a canonical function of the tree, not
+    # of the parent dict's insertion history (lint R002)
     payload = {
         "root": root,
-        "parent": {str(v): p for v, p in parent.items()},
+        "parent": {str(v): p for v, p in sorted(parent.items())},
     }
     if depth is not None:
-        payload["depth"] = {str(v): d for v, d in depth.items()}
+        payload["depth"] = {str(v): d for v, d in sorted(depth.items())}
     with open(path, "w") as fh:
         json.dump(payload, fh, indent=1)
 
@@ -121,11 +122,16 @@ def load_dfs_tree(
     with open(path) as fh:
         payload = json.load(fh)
     root = int(payload["root"])
+    # sorted: the loaded dicts get a canonical insertion order whatever
+    # order the file carries (lint R002)
     parent = {
         int(v): (None if p is None else int(p))
-        for v, p in payload["parent"].items()
+        for v, p in sorted(payload["parent"].items(), key=lambda kv: int(kv[0]))
     }
     depth = None
     if "depth" in payload:
-        depth = {int(v): int(d) for v, d in payload["depth"].items()}
+        depth = {
+            int(v): int(d)
+            for v, d in sorted(payload["depth"].items(), key=lambda kv: int(kv[0]))
+        }
     return root, parent, depth

@@ -36,7 +36,9 @@ __all__ = [
 ]
 
 
-def components_arrays(
+# array-level raw kernel behind the registered graph-level operations
+# (connected_components / spanning_forest), not a dispatch surface itself
+def components_arrays(  # repro-lint: disable=R004
     n: int,
     edge_u: np.ndarray,
     edge_v: np.ndarray,

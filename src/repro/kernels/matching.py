@@ -38,7 +38,7 @@ from typing import Sequence
 import numpy as np
 
 from ..pram.tracker import Tracker, log2_ceil
-from .rng import LockstepUniform
+from .rng import LockstepUniform, derived_generator
 
 __all__ = [
     "maximal_matching_arrays",
@@ -60,7 +60,9 @@ def _edge_arrays(edges) -> tuple[np.ndarray, np.ndarray]:
     return np.ascontiguousarray(pairs[:, 0]), np.ascontiguousarray(pairs[:, 1])
 
 
-def maximal_matching_arrays(
+# array-level raw kernel, not a graph-level dispatch operation (the
+# registered surface is maximal_matching_np / maximal_matching_graph)
+def maximal_matching_arrays(  # repro-lint: disable=R004
     t: Tracker | None,
     n: int,
     edge_u: np.ndarray,
@@ -85,8 +87,11 @@ def maximal_matching_arrays(
         v = edge_v[live]
         prio = gen.random(k)
         best = np.full(n, np.inf)
-        np.minimum.at(best, u, prio)
-        np.minimum.at(best, v, prio)
+        # float scatter-min is safe here: the raw kernel promises only
+        # *a* maximal matching (no cross-backend identity), and a
+        # priority collision is caught and redone on ranks below
+        np.minimum.at(best, u, prio)  # repro-lint: disable=R005
+        np.minimum.at(best, v, prio)  # repro-lint: disable=R005
         local_min = (best[u] == prio) & (best[v] == prio)
         winners = live[local_min]
         if winners.size and np.bincount(
@@ -95,7 +100,9 @@ def maximal_matching_arrays(
             # a priority tie elected two edges at one vertex; redo the
             # round with exact ranks in the (priority, eid) total order
             rank = np.empty(k, dtype=np.int64)
-            rank[np.lexsort((live, prio))] = np.arange(k, dtype=np.int64)
+            # ranks in the (priority, eid) total order: the float only
+            # seeds an exact integer tie-break, so ordering is total
+            rank[np.lexsort((live, prio))] = np.arange(k)  # repro-lint: disable=R005
             best_r = np.full(n, k, dtype=np.int64)
             np.minimum.at(best_r, u, rank)
             np.minimum.at(best_r, v, rank)
@@ -151,9 +158,11 @@ def maximal_matching_np(
             v = edge_v[live]
             prio = uni.draw(k)
             # per-vertex lexicographic min of (priority, eid): rank each
-            # live edge in that total order, then scatter-min the ranks
+            # live edge in that total order, then scatter-min the ranks —
+            # the float never decides a winner alone, eid breaks ties
+            # exactly as the tracked backend does
             rank = np.empty(k, dtype=np.int64)
-            rank[np.lexsort((live, prio))] = np.arange(k, dtype=np.int64)
+            rank[np.lexsort((live, prio))] = np.arange(k)  # repro-lint: disable=R005
             best = np.full(n, k, dtype=np.int64)
             np.minimum.at(best, u, rank)
             np.minimum.at(best, v, rank)
@@ -186,6 +195,6 @@ def maximal_matching_graph(
     re-materialize the arrays.
     """
     rng = rng if rng is not None else random.Random(0xA11CE)
-    gen = np.random.default_rng(rng.getrandbits(64))
+    gen = derived_generator(rng)
     c = g.csr()
     return maximal_matching_arrays(t, g.n, c.edge_u, c.edge_v, gen).tolist()

@@ -1,0 +1,111 @@
+"""Baseline: grandfather existing findings, fail only on regressions.
+
+The checked-in ``lint-baseline.json`` records every finding present
+when a rule landed, so CI can require *zero new* findings without
+demanding the whole backlog be fixed at once.  Entries are keyed by
+``(rule, path, code)`` where ``code`` is the stripped source line —
+deliberately *not* the line number, so unrelated edits that shift
+lines don't invalidate the baseline, while any edit to the flagged
+line itself (or a new copy of the pattern elsewhere in the file)
+surfaces as a fresh finding.
+
+Each key carries a ``count`` (identical flagged lines in one file) and
+an optional free-text ``note`` justifying why the finding is
+grandfathered rather than fixed; ``--write-baseline`` preserves notes
+across regeneration.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .base import Finding
+
+__all__ = ["Baseline", "BaselineMatch"]
+
+_VERSION = 1
+
+
+def _key(finding: Finding) -> tuple[str, str, str]:
+    return (finding.rule, finding.path, finding.code)
+
+
+@dataclass
+class BaselineMatch:
+    """Outcome of filtering a run's findings through a baseline."""
+
+    new: list[Finding] = field(default_factory=list)
+    matched: list[Finding] = field(default_factory=list)
+    #: baseline keys with a higher count than the fresh run produced —
+    #: fixed (or moved) violations whose entries can be retired
+    stale: list[tuple[str, str, str]] = field(default_factory=list)
+
+
+@dataclass
+class Baseline:
+    #: (rule, path, code) -> allowed occurrence count
+    counts: dict[tuple[str, str, str], int] = field(default_factory=dict)
+    #: (rule, path, code) -> justification note
+    notes: dict[tuple[str, str, str], str] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        if data.get("version") != _VERSION:
+            raise ValueError(
+                f"unsupported baseline version {data.get('version')!r} in {path}"
+            )
+        bl = cls()
+        for entry in data.get("findings", []):
+            key = (entry["rule"], entry["path"], entry["code"])
+            bl.counts[key] = bl.counts.get(key, 0) + int(entry.get("count", 1))
+            note = entry.get("note")
+            if note:
+                bl.notes[key] = note
+        return bl
+
+    def dump(self, path: str | Path) -> None:
+        entries = []
+        for key in sorted(self.counts):
+            rule, fpath, code = key
+            entry: dict[str, object] = {
+                "rule": rule,
+                "path": fpath,
+                "code": code,
+                "count": self.counts[key],
+            }
+            if key in self.notes:
+                entry["note"] = self.notes[key]
+            entries.append(entry)
+        payload = {"version": _VERSION, "tool": "repro-lint", "findings": entries}
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=False) + "\n", encoding="utf-8"
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_findings(
+        cls, findings: list[Finding], notes: dict[tuple[str, str, str], str] | None = None
+    ) -> "Baseline":
+        bl = cls(notes=dict(notes or {}))
+        for f in findings:
+            key = _key(f)
+            bl.counts[key] = bl.counts.get(key, 0) + 1
+        bl.notes = {k: v for k, v in bl.notes.items() if k in bl.counts}
+        return bl
+
+    def match(self, findings: list[Finding]) -> BaselineMatch:
+        out = BaselineMatch()
+        remaining = dict(self.counts)
+        for f in findings:
+            key = _key(f)
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                out.matched.append(f)
+            else:
+                out.new.append(f)
+        out.stale = sorted(k for k, c in remaining.items() if c > 0)
+        return out

@@ -1,0 +1,387 @@
+"""R002 nondeterministic-iteration and R005 float-key-compare.
+
+Both rules guard the byte-identical tracked↔numpy guarantee (PR 2/PR 3):
+``parallel_dfs(kernel_backend="numpy")`` must return the same bytes as
+the tracked backend, which it can only do when every choice point in
+the pipeline is deterministic and backend-independent.
+
+**R002** flags iteration whose order comes from a ``set`` or ``dict``
+(including ``.keys()``/``.values()``/``.items()`` views and set
+algebra) without an enclosing ``sorted(...)``.  Set order varies with
+insertion history and hash seeding; dict order is insertion order,
+which silently encodes whatever upstream order built the dict.  Either
+way the iteration order is an unstated invariant — one the numpy
+backend cannot reproduce from array code.  Order-insensitive consumers
+(``sum``/``min``/``max``/``len``/``any``/``all``/``sorted`` and set
+comprehensions) are exempt.
+
+**R005** flags ordering comparisons (``<``/``<=``/``>``/``>=``),
+``min``/``max``/``sorted`` keys, float scatter-min/max
+(``np.minimum.at``) and float sorts (``np.lexsort``/``np.argsort``)
+on float expressions.  Tracked code compares Python floats one pair at
+a time; numpy compares float64 arrays — the values agree bit-for-bit
+only when both sides draw the same stream *and* ties break on a
+non-float key, so every float ordering site needs an explicit
+total-order story (rank-based tie-breaks, as in
+``kernels/matching.py``) or a suppression explaining one.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from .base import FileContext, Finding, Rule, call_name, dotted_name
+from .config import LOCKSTEP_PACKAGES
+
+__all__ = ["NondeterministicIterationRule", "FloatKeyCompareRule"]
+
+#: consumers for which element order cannot affect the result
+ORDER_INSENSITIVE = frozenset({"sorted", "min", "max", "sum", "len", "any", "all"})
+
+_DICT_VIEWS = frozenset({"keys", "values", "items"})
+_SET_METHODS = frozenset(
+    {"intersection", "union", "difference", "symmetric_difference"}
+)
+_SET_OPS = (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+
+
+def _ann_kind(annotation: ast.AST | None) -> str | None:
+    if annotation is None:
+        return None
+    try:
+        text = ast.unparse(annotation)
+    except Exception:  # pragma: no cover - malformed annotation
+        return None
+    head = text.split("[", 1)[0].split(".")[-1].strip()
+    if head in {"set", "Set", "frozenset", "AbstractSet", "MutableSet"}:
+        return "set"
+    if head in {"dict", "Dict", "Mapping", "MutableMapping", "defaultdict", "Counter"}:
+        return "dict"
+    return None
+
+
+def _value_kind(value: ast.AST | None) -> str | None:
+    if value is None:
+        return None
+    if isinstance(value, (ast.Set, ast.SetComp)):
+        return "set"
+    if isinstance(value, (ast.Dict, ast.DictComp)):
+        return "dict"
+    if isinstance(value, ast.Call):
+        name = call_name(value)
+        base = name.split(".")[-1] if name else None
+        if base in {"set", "frozenset"}:
+            return "set"
+        if base in {"dict", "defaultdict", "Counter", "OrderedDict"}:
+            return "dict"
+    return None
+
+
+def _scope_of(ctx: FileContext, node: ast.AST) -> int:
+    func = ctx.enclosing_function(node)
+    return id(func) if func is not None else id(ctx.tree)
+
+
+class _SetDictNames:
+    """Light local inference: which names are set- or dict-typed.
+
+    Tracks per-scope bindings from literals, ``set()``/``dict()``
+    constructors, and annotations.  A name bound to both a set/dict and
+    something else anywhere in its scope becomes ambiguous and is never
+    flagged — the rule prefers false negatives to false positives.
+    """
+
+    def __init__(self, ctx: FileContext) -> None:
+        self.ctx = ctx
+        self.kinds: dict[tuple[int, str], str] = {}
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assign):
+                kind = _value_kind(node.value) or "other"
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        self._bind(_scope_of(ctx, node), target.id, kind)
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                kind = _ann_kind(node.annotation) or _value_kind(node.value) or "other"
+                self._bind(_scope_of(ctx, node), node.target.id, kind)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                args = node.args
+                extra = [a for a in (args.vararg, args.kwarg) if a is not None]
+                for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs, *extra):
+                    kind = _ann_kind(arg.annotation)
+                    if kind is not None:
+                        self._bind(id(node), arg.arg, kind)
+
+    def _bind(self, scope: int, name: str, kind: str) -> None:
+        key = (scope, name)
+        prev = self.kinds.get(key)
+        if prev is None:
+            self.kinds[key] = kind
+        elif prev != kind:
+            self.kinds[key] = "ambiguous"
+
+    def kind_of(self, node: ast.Name) -> str | None:
+        func = self.ctx.enclosing_function(node)
+        scopes = [id(func)] if func is not None else []
+        scopes.append(id(self.ctx.tree))
+        for scope in scopes:
+            kind = self.kinds.get((scope, node.id))
+            if kind is not None:
+                return kind if kind in {"set", "dict"} else None
+        return None
+
+
+def _unsorted_setlike(
+    expr: ast.AST, names: _SetDictNames
+) -> tuple[ast.AST, str] | None:
+    """The first set/dict-like subexpression of ``expr`` whose order
+    escapes, or None when every such order is absorbed by a wrapper."""
+    if isinstance(expr, ast.Call):
+        name = call_name(expr)
+        base = name.split(".")[-1] if name else None
+        if base in ORDER_INSENSITIVE:
+            return None
+        if base in {"set", "frozenset"}:
+            return expr, f"{base}(...)"
+        if isinstance(expr.func, ast.Attribute):
+            if expr.func.attr in _DICT_VIEWS:
+                return expr, f"dict view .{expr.func.attr}()"
+            if expr.func.attr in _SET_METHODS:
+                return expr, f"set method .{expr.func.attr}()"
+        for arg in expr.args:
+            hit = _unsorted_setlike(arg, names)
+            if hit is not None:
+                return hit
+        return None
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return expr, "set literal" if isinstance(expr, ast.Set) else "set comprehension"
+    if isinstance(expr, ast.DictComp):
+        return expr, "dict comprehension"
+    if isinstance(expr, ast.Name):
+        kind = names.kind_of(expr)
+        if kind is not None:
+            return expr, f"{kind}-typed name '{expr.id}'"
+        return None
+    if isinstance(expr, ast.BinOp) and isinstance(expr.op, _SET_OPS):
+        for side in (expr.left, expr.right):
+            hit = _unsorted_setlike(side, names)
+            if hit is not None:
+                return expr, "set-algebra expression"
+        return None
+    if isinstance(expr, (ast.BoolOp,)):
+        for value in expr.values:
+            hit = _unsorted_setlike(value, names)
+            if hit is not None:
+                return hit
+        return None
+    if isinstance(expr, ast.IfExp):
+        for branch in (expr.body, expr.orelse):
+            hit = _unsorted_setlike(branch, names)
+            if hit is not None:
+                return hit
+        return None
+    if isinstance(expr, ast.Starred):
+        return _unsorted_setlike(expr.value, names)
+    return None
+
+
+def _consumed_order_insensitively(ctx: FileContext, comp: ast.AST) -> bool:
+    parent = ctx.parent(comp)
+    if isinstance(parent, ast.Call) and comp in parent.args:
+        name = call_name(parent)
+        base = name.split(".")[-1] if name else None
+        return base in ORDER_INSENSITIVE or base in {"set", "frozenset"}
+    return False
+
+
+class NondeterministicIterationRule(Rule):
+    id = "R002"
+    name = "nondeterministic-iteration"
+    severity = "error"
+    hint = (
+        "wrap the iterable in sorted(...) (cheap relative to the loop "
+        "itself), or suppress with a comment proving the order cannot "
+        "reach any output"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if not ctx.in_package(*LOCKSTEP_PACKAGES):
+            return
+        names = _SetDictNames(ctx)
+        for node in ast.walk(ctx.tree):
+            sites: list[tuple[ast.AST, str]] = []
+            if isinstance(node, ast.For):
+                sites = [(node.iter, "for loop")]
+            elif isinstance(node, (ast.ListComp, ast.DictComp, ast.GeneratorExp)):
+                if _consumed_order_insensitively(ctx, node):
+                    continue
+                sites = [(gen.iter, "comprehension") for gen in node.generators]
+            elif isinstance(node, ast.Call):
+                name = call_name(node)
+                if name in {"list", "tuple"} and node.args:
+                    sites = [(node.args[0], f"{name}(...) materialization")]
+            for expr, where in sites:
+                hit = _unsorted_setlike(expr, names)
+                if hit is None:
+                    continue
+                found, desc = hit
+                yield self.finding(
+                    ctx,
+                    found,
+                    f"{where} iterates a {desc} without an enclosing "
+                    "sorted(); iteration order is not a deterministic "
+                    "function of the inputs",
+                )
+
+
+# ----------------------------------------------------------------------
+# R005
+# ----------------------------------------------------------------------
+
+_FLOAT_PRODUCING_METHODS = frozenset(
+    {"random", "uniform", "random_sample", "draw", "gauss", "expovariate"}
+)
+_ORDERING_OPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE)
+
+
+class _FloatNames:
+    """Names (and float-container names) inferred to hold floats."""
+
+    def __init__(self, ctx: FileContext) -> None:
+        self.ctx = ctx
+        self.float_names: set[tuple[int, str]] = set()
+        self.container_names: set[tuple[int, str]] = set()
+        self._collect_annotations()
+        # two propagation passes settle one level of chained assignment
+        # (pv = prio[v]; ... prio[w] < pv)
+        for _ in range(2):
+            self._collect_assignments()
+
+    def _mark(self, ctx_node: ast.AST, name: str, container: bool) -> None:
+        key = (_scope_of(self.ctx, ctx_node), name)
+        (self.container_names if container else self.float_names).add(key)
+
+    def _collect_annotations(self) -> None:
+        for node in ast.walk(self.ctx.tree):
+            ann: ast.AST | None = None
+            target_name: str | None = None
+            if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                ann, target_name = node.annotation, node.target.id
+            elif isinstance(node, ast.arg) and node.annotation is not None:
+                ann, target_name = node.annotation, node.arg
+            if ann is None or target_name is None:
+                continue
+            try:
+                text = ast.unparse(ann)
+            except Exception:  # pragma: no cover - malformed annotation
+                continue
+            if text == "float":
+                self._mark(node, target_name, container=False)
+            elif "float" in text:
+                self._mark(node, target_name, container=True)
+
+    def _collect_assignments(self) -> None:
+        for node in ast.walk(self.ctx.tree):
+            if isinstance(node, ast.Assign):
+                targets = [t for t in node.targets if isinstance(t, ast.Name)]
+                if targets and self.is_floatish(node.value):
+                    for target in targets:
+                        self._mark(node, target.id, container=False)
+
+    def _name_in(self, node: ast.AST, pool: set[tuple[int, str]]) -> bool:
+        if not isinstance(node, ast.Name):
+            return False
+        func = self.ctx.enclosing_function(node)
+        scopes = [id(func)] if func is not None else []
+        scopes.append(id(self.ctx.tree))
+        return any((scope, node.id) in pool for scope in scopes)
+
+    def is_floatish(self, expr: ast.AST) -> bool:
+        if isinstance(expr, ast.Constant):
+            return isinstance(expr.value, float)
+        if isinstance(expr, ast.BinOp):
+            if isinstance(expr.op, ast.Div):
+                return True
+            return self.is_floatish(expr.left) or self.is_floatish(expr.right)
+        if isinstance(expr, ast.UnaryOp):
+            return self.is_floatish(expr.operand)
+        if isinstance(expr, ast.Call):
+            name = call_name(expr)
+            if name == "float" or (name or "").startswith("math."):
+                return True
+            if (
+                isinstance(expr.func, ast.Attribute)
+                and expr.func.attr in _FLOAT_PRODUCING_METHODS
+            ):
+                return True
+            return False
+        if isinstance(expr, ast.Name):
+            return self._name_in(expr, self.float_names)
+        if isinstance(expr, ast.Subscript):
+            return self._name_in(expr.value, self.container_names)
+        if isinstance(expr, (ast.Tuple, ast.List)):
+            return any(self.is_floatish(e) for e in expr.elts)
+        return False
+
+
+class FloatKeyCompareRule(Rule):
+    id = "R005"
+    name = "float-key-compare"
+    severity = "warning"
+    hint = (
+        "break ties on an integer key (rank in the (value, id) total "
+        "order, as kernels/matching.py does), or suppress with a "
+        "comment explaining why tracked and numpy float semantics "
+        "agree at this site"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if not ctx.in_package(*LOCKSTEP_PACKAGES):
+            return
+        floats = _FloatNames(ctx)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Compare):
+                if not any(isinstance(op, _ORDERING_OPS) for op in node.ops):
+                    continue
+                operands = [node.left, *node.comparators]
+                if any(floats.is_floatish(o) for o in operands):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "ordering comparison on a float expression in "
+                        "lockstep-critical code",
+                    )
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node, floats)
+
+    def _check_call(
+        self, ctx: FileContext, node: ast.Call, floats: _FloatNames
+    ) -> Iterable[Finding]:
+        name = call_name(node) or ""
+        base = name.split(".")[-1]
+        if base in {"min", "max", "sorted"}:
+            for kw in node.keywords:
+                if (
+                    kw.arg == "key"
+                    and isinstance(kw.value, ast.Lambda)
+                    and floats.is_floatish(kw.value.body)
+                ):
+                    yield self.finding(
+                        ctx, node, f"{base}() with a float-valued key"
+                    )
+            return
+        chain = dotted_name(node.func)
+        if chain and chain.endswith((".minimum.at", ".maximum.at")):
+            if len(node.args) >= 3 and floats.is_floatish(node.args[2]):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "float scatter-min/max: per-vertex winner is chosen "
+                    "by float comparison",
+                )
+            return
+        if base in {"lexsort", "argsort"}:
+            if any(floats.is_floatish(a) for a in node.args):
+                yield self.finding(
+                    ctx, node, f"{base}() ranks by a float sort key"
+                )

@@ -1,0 +1,128 @@
+"""R003 raw-rng: all randomness flows through seeded, threaded instances.
+
+The reproducibility contract (and the tracked↔numpy lockstep of
+``kernels/rng.py``) requires every random draw to come from a
+``random.Random`` instance that the driver seeds and threads
+explicitly.  Module-level draws — ``random.random()``,
+``np.random.default_rng()``, ``np.random.rand(...)`` — consume hidden
+global state: results stop being a function of the passed-in seed, and
+the numpy backend can no longer mirror the tracked stream.
+
+Flagged outside the configured owner files (the rng bridge, the graph
+generators, and the fuzz/experiment entry points):
+
+* any call through the ``random`` module (``random.<anything>(...)``)
+  except constructing a seeded instance with ``random.Random(...)``;
+* any runtime use of ``np.random`` / ``numpy.random`` (calls *and*
+  bare attribute reads — passing ``np.random`` around is the same
+  hazard); annotations are exempt (they are never evaluated);
+* ``from random import <draw function>`` imports (aliasing the global
+  draws does not make them less global).
+
+Calls on an *instance* (``rng.random()``, ``gen.integers(...)``) are
+always fine — that is the sanctioned pattern.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from .base import FileContext, Finding, Rule, dotted_name
+from .config import RNG_OWNER_FILES
+
+__all__ = ["RawRngRule"]
+
+
+class RawRngRule(Rule):
+    id = "R003"
+    name = "raw-rng"
+    severity = "error"
+    hint = (
+        "draw from the seeded random.Random threaded through the call "
+        "chain, or go through the bridge helpers in repro.kernels.rng"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.rel in RNG_OWNER_FILES:
+            return
+        random_aliases, nprandom_roots = _rng_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "random":
+                bad = [a.name for a in node.names if a.name != "Random"]
+                if bad:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "importing global draw functions from the random "
+                        f"module ({', '.join(bad)})",
+                    )
+                continue
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name is None:
+                    continue
+                parts = name.split(".")
+                if (
+                    len(parts) == 2
+                    and parts[0] in random_aliases
+                    and parts[1] != "Random"
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"call to module-level {name}() consumes hidden "
+                        "global RNG state",
+                    )
+            elif isinstance(node, ast.Attribute):
+                if ctx.in_annotation(node):
+                    continue
+                name = dotted_name(node)
+                if name is None:
+                    continue
+                if _is_np_random(name, nprandom_roots) and not _inside_np_random(
+                    ctx, node, nprandom_roots
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"runtime use of {name} (numpy global RNG namespace)",
+                    )
+
+
+def _rng_aliases(tree: ast.Module) -> tuple[set[str], set[str]]:
+    """Local alias names for the ``random`` module and for numpy."""
+    random_aliases: set[str] = set()
+    numpy_aliases: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name
+                if alias.name == "random":
+                    random_aliases.add(local)
+                elif alias.name == "numpy":
+                    numpy_aliases.add(local)
+                elif alias.name == "numpy.random":
+                    random_aliases.add(local)  # treated like the random module
+        elif isinstance(node, ast.ImportFrom) and node.module == "numpy":
+            for alias in node.names:
+                if alias.name == "random":
+                    random_aliases.add(alias.asname or alias.name)
+    return random_aliases, numpy_aliases
+
+
+def _is_np_random(name: str, numpy_aliases: set[str]) -> bool:
+    parts = name.split(".")
+    return len(parts) >= 2 and parts[0] in numpy_aliases and parts[1] == "random"
+
+
+def _inside_np_random(
+    ctx: FileContext, node: ast.Attribute, numpy_aliases: set[str]
+) -> bool:
+    """True when a strictly longer ``np.random.*`` chain contains this
+    node, so only the outermost attribute in a chain is reported."""
+    parent = ctx.parent(node)
+    if isinstance(parent, ast.Attribute):
+        name = dotted_name(parent)
+        return name is not None and _is_np_random(name, numpy_aliases)
+    return False

@@ -1,0 +1,65 @@
+"""Suppression-comment parsing for repro-lint.
+
+Two forms, both parsed with :mod:`tokenize` so they work anywhere a
+real comment does (never inside strings):
+
+* ``# repro-lint: disable=R001`` on a line suppresses the listed rules
+  for findings reported on that line (comma-separate several ids,
+  ``all`` for every rule).  Put it on the line that carries the
+  construct — the ``for``/``def``/comparison itself.
+* ``# repro-lint: disable-file=R002`` anywhere in a file suppresses
+  the listed rules for the whole file (conventionally placed right
+  below the module docstring, with a comment justifying why).
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+__all__ = ["Suppressions", "parse_suppressions"]
+
+_DIRECTIVE = re.compile(
+    r"repro-lint:\s*(?P<kind>disable|disable-file)\s*="
+    r"\s*(?P<rules>all|[A-Z]\d+(?:\s*,\s*[A-Z]\d+)*)"
+)
+
+
+@dataclass
+class Suppressions:
+    """Per-file suppression state."""
+
+    #: rule ids disabled for the entire file ("all" disables everything)
+    file_rules: set[str] = field(default_factory=set)
+    #: line number -> rule ids disabled on that line
+    line_rules: dict[int, set[str]] = field(default_factory=dict)
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        if "all" in self.file_rules or rule in self.file_rules:
+            return True
+        on_line = self.line_rules.get(line)
+        if on_line is None:
+            return False
+        return "all" in on_line or rule in on_line
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    sup = Suppressions()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _DIRECTIVE.search(tok.string)
+            if match is None:
+                continue
+            rules = {r.strip() for r in match.group("rules").split(",")}
+            if match.group("kind") == "disable-file":
+                sup.file_rules |= rules
+            else:
+                sup.line_rules.setdefault(tok.start[0], set()).update(rules)
+    except tokenize.TokenError:  # pragma: no cover - only on truncated files
+        pass
+    return sup

@@ -13,7 +13,7 @@ its member vertices; heads/tails are the members with no prev/next.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from typing import Iterator
 
 __all__ = ["PathCollection"]
 
@@ -155,8 +155,9 @@ class PathCollection:
         return list(self.iter_from(self.head_of(member)))
 
     def heads(self) -> list[int]:
-        """All path heads (O(total size); for tests/setup, not hot loops)."""
-        return [v for v, p in self.prv.items() if p == _NIL]
+        """All path heads, ascending (O(total size); for tests/setup,
+        not hot loops — hence no tracker charge)."""
+        return sorted(v for v, p in self.prv.items() if p == _NIL)  # repro-lint: disable=R001
 
     # ------------------------------------------------------------------
     def check_invariants(self) -> None:

@@ -110,7 +110,9 @@ def cole_vishkin_3color(
                     return
 
         t.parallel_for(targets, fix)
-        for v, val in new_vals.items():
+        # sorted: the writes are per-key independent, but deterministic
+        # iteration keeps color's insertion order canonical (lint R002)
+        for v, val in sorted(new_vals.items()):
             color[v] = val
         t.charge(len(new_vals), 1)
 

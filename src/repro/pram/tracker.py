@@ -25,10 +25,9 @@ bound.
 
 from __future__ import annotations
 
-import math
 from contextlib import contextmanager
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator, Sequence, TypeVar
+from dataclasses import dataclass
+from typing import Callable, Iterator, Sequence, TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -246,10 +245,10 @@ class Tracker:
         return Cost(self.work, self.span)
 
     def region_report(self) -> dict[str, dict[str, int]]:
-        """Per-region totals as plain dictionaries (for reporting)."""
+        """Per-region totals as plain dictionaries, in name order."""
         return {
             name: {"work": t.work, "span": t.span, "calls": t.calls}
-            for name, t in self.regions.items()
+            for name, t in sorted(self.regions.items())
         }
 
     def reset(self) -> None:

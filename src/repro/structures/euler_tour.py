@@ -28,7 +28,6 @@ parallelism across *independent components* is expressed by the callers.
 
 from __future__ import annotations
 
-from typing import Iterator
 
 from ..pram.tracker import Tracker
 

@@ -37,7 +37,7 @@ Section 6.2 — can apply them as its own batch update.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from ..graph.graph import Graph
 from ..graph.connectivity import spanning_forest

@@ -4,7 +4,6 @@ import random
 
 import pytest
 
-from repro.graph import Graph
 from repro.graph import generators as G
 from repro.pram import Tracker
 from repro.structures.absorb_ds import AbsorptionStructure

@@ -3,7 +3,6 @@
 import random
 
 import networkx as nx
-import pytest
 
 from repro.apps.biconnectivity import biconnectivity, low_link_sweep
 from repro.baselines.sequential import sequential_dfs

@@ -2,8 +2,6 @@
 
 import random
 
-import numpy as np
-import pytest
 
 from repro import parallel_dfs
 from repro.baselines.sequential import sequential_dfs

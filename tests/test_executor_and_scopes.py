@@ -1,7 +1,6 @@
 """Tests for the demo thread-pool executor and Tracker.primitive scopes."""
 
 import threading
-import time
 
 from repro.pram import Tracker, default_workers, run_parallel
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro import parallel_dfs
 from repro.core.verify import is_valid_dfs_tree
-from repro.graph import Graph
 from repro.graph import generators as G
 from repro.graph.io import (
     load_dfs_tree,

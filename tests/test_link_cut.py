@@ -6,7 +6,6 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.graph import Graph
 from repro.graph.traversal import tree_path
 from repro.structures.link_cut import LinkCutForest
 

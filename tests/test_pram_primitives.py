@@ -1,6 +1,5 @@
 """Unit + property tests for the parallel array primitives."""
 
-import random
 
 import pytest
 from hypothesis import given, settings

@@ -6,8 +6,6 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.graph.traversal import tree_path
-from repro.pram import Tracker
 from repro.structures.rc_tree import RCForest
 
 
