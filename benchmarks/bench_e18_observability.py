@@ -1,0 +1,138 @@
+"""E18 — observability: traced profile ledger + tracing cost.
+
+PR 5 adds the span/metrics layer (:mod:`repro.obs`). This experiment
+produces the regression-gating ``profile`` section of the JSON ledger and
+certifies the layer's two contracts on the E17 mid-size configuration
+(gnm, n = 2000, m = 4000, seed 23):
+
+1. **Non-interference** — with tracing active, ``parallel_dfs`` returns
+   byte-identical parent/depth maps under both kernel backends, and the
+   tracked work/span totals equal the untraced run's (asserted).
+2. **Profile ledger** — per-phase wall seconds, tracked work/span and
+   call counts (aggregated from the ``phase:*`` spans) plus the full
+   structure-counter catalogue land under ``profile`` in
+   ``results/BENCH_PR5.json``, so a later PR can diff e.g. splay
+   rotations per phase instead of re-deriving them.
+
+The <3% disabled-overhead acceptance lives in tier-1
+(``tests/test_obs_overhead.py``); here the *enabled* tracing cost is
+reported (not asserted) next to the numbers it contextualizes.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from conftest import publish
+
+from repro.analysis.trace import trace_dfs
+from repro.core.dfs import parallel_dfs
+from repro.graph.generators import gnm_random_connected_graph
+from repro.pram import Tracker
+
+PROFILE_N = 2_000
+
+
+def _phase_aggregate(trc) -> dict[str, dict]:
+    """Fold the ``phase:*`` spans into per-phase totals."""
+    phases: dict[str, dict] = {}
+    for sp in trc.spans:
+        if not sp.name.startswith("phase:"):
+            continue
+        agg = phases.setdefault(
+            sp.name[len("phase:"):],
+            {"calls": 0, "wall_s": 0.0, "tracked_work": 0, "tracked_span": 0},
+        )
+        agg["calls"] += 1
+        agg["wall_s"] += sp.dur
+        agg["tracked_work"] += sp.work_delta or 0
+        agg["tracked_span"] += sp.span_delta or 0
+    for agg in phases.values():
+        agg["wall_s"] = round(agg["wall_s"], 4)
+    return phases
+
+
+def run_profile(n: int = PROFILE_N):
+    g = gnm_random_connected_graph(n, 2 * n, seed=23)
+
+    # untraced reference run (per backend): tree + tracker totals
+    ref = {}
+    for kb in ("tracked", "numpy"):
+        t = Tracker()
+        r = parallel_dfs(g, 0, t, random.Random(123), kernel_backend=kb)
+        ref[kb] = (r, t.work, t.span)
+
+    # traced runs: identical trees and identical tracker totals
+    traced = {}
+    walls = {}
+    for kb in ("tracked", "numpy"):
+        t0 = time.perf_counter()
+        res, trc, mtr = trace_dfs(g, root=0, seed=123, kernel_backend=kb)
+        walls[kb] = time.perf_counter() - t0
+        r0, w0, s0 = ref[kb]
+        assert res.parent == r0.parent, f"{kb}: tracing changed the tree"
+        assert res.depth == r0.depth, f"{kb}: tracing changed the depths"
+        assert (trc.tracker.work, trc.tracker.span) == (w0, s0), (
+            f"{kb}: tracing perturbed the tracked totals"
+        )
+        traced[kb] = (res, trc, mtr)
+    r_tr, r_np = traced["tracked"][0], traced["numpy"][0]
+    assert r_tr.parent == r_np.parent, "backends disagree under tracing"
+
+    res, trc, mtr = traced["numpy"]
+    return {
+        "n": n,
+        "m": g.m,
+        "spans": len(trc.spans),
+        "phases": _phase_aggregate(trc),
+        "counters": mtr.as_dict(),
+        "traced_wall_s": {k: round(v, 3) for k, v in walls.items()},
+    }
+
+
+def render(profile: dict) -> str:
+    lines = [
+        f"traced parallel_dfs profile (gnm n={profile['n']} "
+        f"m={profile['m']}, numpy backend, {profile['spans']} spans):",
+        f"{'phase':<12} {'calls':>6} {'wall_s':>8} {'work':>12} {'span':>10}",
+        "-" * 52,
+    ]
+    for name, agg in sorted(profile["phases"].items()):
+        lines.append(
+            f"{name:<12} {agg['calls']:>6} {agg['wall_s']:>8.3f} "
+            f"{agg['tracked_work']:>12} {agg['tracked_span']:>10}"
+        )
+    lines.append("")
+    lines.append("structure counters:")
+    for name, value in profile["counters"].items():
+        lines.append(f"  {name} = {value}")
+    return "\n".join(lines)
+
+
+def test_e18_profile_ledger(benchmark):
+    profile = benchmark.pedantic(run_profile, rounds=1, iterations=1)
+    publish("e18_observability", render(profile), data={"profile": profile})
+    # acceptance: the pipeline phases and the structure counters are there
+    assert {"separator", "absorb", "components", "induce"} <= set(
+        profile["phases"]
+    )
+    assert profile["counters"].get("separator.rounds", 0) > 0
+    assert profile["counters"].get("ett.splay_rotations", 0) > 0
+
+
+def test_e18_smoke():
+    """Tiny-n CI check: traced run, valid events, phases present."""
+    from repro.obs import to_trace_events, validate_trace_events
+
+    g = gnm_random_connected_graph(300, 700, seed=3)
+    res, trc, mtr = trace_dfs(g, root=0, seed=9, kernel_backend="numpy")
+    events = to_trace_events(trc)
+    assert events and not validate_trace_events(events)
+    names = {e["name"] for e in events}
+    assert {"parallel_dfs", "phase:separator", "phase:absorb"} <= names
+    assert mtr.as_dict().get("absorb.iterations", 0) > 0
+
+
+if __name__ == "__main__":
+    print(render(run_profile()))

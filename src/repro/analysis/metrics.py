@@ -15,13 +15,22 @@ growth. Helpers here:
 from __future__ import annotations
 
 import math
-import time
-from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterator, Mapping, Sequence
+from typing import Sequence
+
+# The phase profiler moved to the observability layer in PR 5 (it is now
+# implemented on tracer spans); these re-exports keep the historical
+# import path working for the benchmark harness and downstream users.
+from ..obs.profile import (  # noqa: F401 - re-exported API
+    PHASE_STAT_PREFIX,
+    PhaseError,
+    PhaseProfiler,
+    phase_seconds,
+)
 
 __all__ = [
     "Measurement",
+    "PhaseError",
     "PhaseProfiler",
     "phase_seconds",
     "loglog_slope",
@@ -29,59 +38,6 @@ __all__ = [
     "geometric_sizes",
     "format_table",
 ]
-
-#: stats key prefix under which the driver records per-phase wall clock
-PHASE_STAT_PREFIX = "seconds_"
-
-
-class PhaseProfiler:
-    """Wall-clock accumulator for the driver's phases.
-
-    ``with prof.phase("separator"): ...`` adds the elapsed
-    ``time.perf_counter`` seconds to that phase's bucket. Nested or
-    recursive sections of the *same* phase are only timed at the
-    outermost level, so the recursion in ``parallel_dfs`` never
-    double-counts. Purely observational: no Tracker charges, identical
-    work/span with or without it.
-    """
-
-    __slots__ = ("seconds", "_depth")
-
-    def __init__(self) -> None:
-        self.seconds: dict[str, float] = {}
-        self._depth: dict[str, int] = {}
-
-    @contextmanager
-    def phase(self, name: str) -> Iterator[None]:
-        depth = self._depth.get(name, 0)
-        self._depth[name] = depth + 1
-        start = time.perf_counter() if depth == 0 else 0.0
-        try:
-            yield
-        finally:
-            self._depth[name] -= 1
-            if depth == 0:
-                self.seconds[name] = self.seconds.get(name, 0.0) + (
-                    time.perf_counter() - start
-                )
-
-    def export_into(self, stats: dict) -> None:
-        """Write ``seconds_<phase>`` entries into a stats dict."""
-        for name, secs in sorted(self.seconds.items()):
-            stats[PHASE_STAT_PREFIX + name] = secs
-
-
-def phase_seconds(stats: Mapping) -> dict[str, float]:
-    """Per-phase wall-clock seconds recorded in a ``DFSResult.stats``.
-
-    Inverse of :meth:`PhaseProfiler.export_into`; empty if the run was
-    not profiled.
-    """
-    return {
-        key[len(PHASE_STAT_PREFIX) :]: float(val)
-        for key, val in stats.items()
-        if key.startswith(PHASE_STAT_PREFIX)
-    }
 
 
 @dataclass

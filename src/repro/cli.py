@@ -33,6 +33,8 @@ __all__ = ["main"]
 
 
 def _cmd_dfs(args: argparse.Namespace) -> int:
+    from contextlib import nullcontext
+
     if args.edge_list is not None:
         from .graph.io import read_edge_list
 
@@ -40,14 +42,24 @@ def _cmd_dfs(args: argparse.Namespace) -> int:
     else:
         g = make_family(args.family, args.n, seed=args.seed)
     t = Tracker()
-    res = parallel_dfs(
-        g,
-        args.root,
-        tracker=t,
-        rng=random.Random(args.seed),
-        backend=args.backend,
-        verify=True,
-    )
+    trc = mtr = None
+    scope = nullcontext()
+    if args.trace:
+        from .kernels.dispatch import resolve_backend
+        from .obs import Metrics, Tracer, activate
+
+        trc = Tracer(tracker=t, backend=resolve_backend(None))
+        mtr = Metrics()
+        scope = activate(trc, mtr)
+    with scope:
+        res = parallel_dfs(
+            g,
+            args.root,
+            tracker=t,
+            rng=random.Random(args.seed),
+            backend=args.backend,
+            verify=True,
+        )
     seq = Tracker()
     sequential_dfs(g, args.root, seq)
     src = args.edge_list if args.edge_list else f"family={args.family}"
@@ -66,6 +78,16 @@ def _cmd_dfs(args: argparse.Namespace) -> int:
 
         save_dfs_tree(args.save_tree, res.root, res.parent, res.depth)
         print(f"tree written to {args.save_tree}")
+    if args.trace:
+        from .analysis.trace import write_exports
+
+        out = write_exports(args.trace, trc, mtr)
+        print(f"trace written to {args.trace} "
+              f"({len(out['events'])} events)")
+        if out["problems"]:
+            for p in out["problems"]:
+                print(f"trace validation: {p}", file=sys.stderr)
+            return 1
     return 0
 
 
@@ -132,6 +154,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="read the graph from an edge-list file instead")
     p.add_argument("--save-tree", default=None, metavar="FILE",
                    help="write the resulting DFS tree as JSON")
+    p.add_argument("--trace", default=None, metavar="DIR",
+                   help="record a span trace and write trace.json/.jsonl/"
+                        ".txt into DIR (see docs/observability.md)")
     p.add_argument("--n", type=int, default=512)
     p.add_argument("--root", type=int, default=0)
     p.add_argument("--seed", type=int, default=0)

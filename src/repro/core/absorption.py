@@ -41,6 +41,7 @@ from typing import Iterable, Mapping, Sequence
 from ..graph.graph import Graph
 from ..listrank.dllist import PathCollection
 from ..listrank.ranking import prefix_sums_on_lists
+from ..obs import runtime as obs
 from ..pram.tracker import Tracker, log2_ceil
 from ..structures.absorb_ds import AbsorptionStructure
 
@@ -140,63 +141,69 @@ def absorb_separator(
         iterations += 1
         if iterations > max_iterations:
             raise RuntimeError("absorption did not converge (bug)")
+        obs.metrics().counter("absorb.iterations").inc()
 
-        v, x_global, dx = ds.lowest_node(q_probe)
-        p = ds.find_path_s2p(q_probe, v)
-        q = p[-1]
+        with obs.span("absorb.iteration", iteration=iterations) as sp:
+            v, x_global, dx = ds.lowest_node(q_probe)
+            p = ds.find_path_s2p(q_probe, v)
+            q = p[-1]
 
-        # split l = l' q l'' and pick the longer half (Lemma 2.4 decides)
-        before_member = pc.cut_before(q)
-        after_member = pc.cut_after(q)
-        pc.remove_singleton(q)
-        piece_before = (
-            _ordered_piece(t, pc, before_member)
-            if before_member is not None
-            else []
-        )
-        piece_after = (
-            _ordered_piece(t, pc, after_member)
-            if after_member is not None
-            else []
-        )
-        if len(piece_before) >= len(piece_after):
-            absorbed_half = list(reversed(piece_before))  # outward from q
-        else:
-            absorbed_half = piece_after
-        if absorbed_half:
-            pc.discard_path(absorbed_half[0])
-            t.charge(len(absorbed_half), 1)
+            # split l = l' q l'' and pick the longer half (Lemma 2.4
+            # decides)
+            before_member = pc.cut_before(q)
+            after_member = pc.cut_after(q)
+            pc.remove_singleton(q)
+            piece_before = (
+                _ordered_piece(t, pc, before_member)
+                if before_member is not None
+                else []
+            )
+            piece_after = (
+                _ordered_piece(t, pc, after_member)
+                if after_member is not None
+                else []
+            )
+            if len(piece_before) >= len(piece_after):
+                absorbed_half = list(reversed(piece_before))  # out from q
+            else:
+                absorbed_half = piece_after
+            if absorbed_half:
+                pc.discard_path(absorbed_half[0])
+                t.charge(len(absorbed_half), 1)
 
-        chain = p + absorbed_half  # v ... q ... l'-end
+            chain = p + absorbed_half  # v ... q ... l'-end
+            sp.set("chain", len(chain))
+            obs.metrics().histogram("absorb.chain").observe(len(chain))
 
-        # depths via a prefix sum along the chain (Lemma 2.4): the chain
-        # hangs below the tree vertex x at depth dx; each vertex adds 1
-        prev_of: dict[int, int | None] = {}
-        prev = None
-        for w in chain:
-            prev_of[w] = prev
-            prev = w
-        t.charge(len(chain), 1)
-        ranks = prefix_sums_on_lists(
-            t, chain, prev_of, lambda w: 1, method="anderson-miller", rng=rng,
-            backend=kernel_backend,
-        )
+            # depths via a prefix sum along the chain (Lemma 2.4): the
+            # chain hangs below the tree vertex x at depth dx; each vertex
+            # adds 1
+            prev_of: dict[int, int | None] = {}
+            prev = None
+            for w in chain:
+                prev_of[w] = prev
+                prev = w
+            t.charge(len(chain), 1)
+            ranks = prefix_sums_on_lists(
+                t, chain, prev_of, lambda w: 1, method="anderson-miller",
+                rng=rng, backend=kernel_backend,
+            )
 
-        chain_depths: dict[int, int] = {}
+            chain_depths: dict[int, int] = {}
 
-        def attach(idx_w: tuple[int, int]) -> None:
-            i, w = idx_w
-            t.op(1)
-            wg = to_global[w]
-            parent[wg] = x_global if i == 0 else to_global[chain[i - 1]]
-            d = dx + ranks[w]
-            depth[wg] = d
-            chain_depths[w] = d
-            absorbed_local.add(w)
+            def attach(idx_w: tuple[int, int]) -> None:
+                i, w = idx_w
+                t.op(1)
+                wg = to_global[w]
+                parent[wg] = x_global if i == 0 else to_global[chain[i - 1]]
+                d = dx + ranks[w]
+                depth[wg] = d
+                chain_depths[w] = d
+                absorbed_local.add(w)
 
-        t.parallel_for(list(enumerate(chain)), attach)
+            t.parallel_for(list(enumerate(chain)), attach)
 
-        ds.batch_delete([(w, chain_depths[w]) for w in chain])
+            ds.batch_delete([(w, chain_depths[w]) for w in chain])
 
     return AbsorptionOutcome(
         absorbed_local=absorbed_local, structure=ds, iterations=iterations

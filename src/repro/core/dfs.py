@@ -30,6 +30,8 @@ from ..baselines.sequential import sequential_dfs
 from ..graph.connectivity import connected_components
 from ..graph.graph import Graph
 from ..kernels.dispatch import resolve_backend
+from ..obs import runtime as obs
+from ..obs.profile import PhaseProfiler
 from ..pram.tracker import Tracker, log2_ceil
 from .absorption import absorb_separator
 from .separator import build_separator
@@ -82,10 +84,6 @@ def parallel_dfs(
     # resolve once at entry so one run never mixes backends even if the
     # process default changes mid-flight
     kb = resolve_backend(kernel_backend)
-    # deferred: analysis.__init__ imports the experiment runner, which
-    # imports this module back
-    from ..analysis.metrics import PhaseProfiler
-
     prof = PhaseProfiler()
 
     parent: dict[int, int | None] = {root: None}
@@ -97,16 +95,20 @@ def parallel_dfs(
         "sequential_base_cases": 0,
     }
 
-    # restrict to root's component (footnote 4: components are identified
-    # with the parallel CC algorithm)
-    with prof.phase("components"):
-        labels = connected_components(g, t, backend=kb)
-        comp_vertices = [v for v in range(g.n) if labels[v] == labels[root]]
-        t.charge(g.n, 1)
-
     max_level = [0]
 
     def solve(
+        vertices: list[int],
+        sub_root: int,
+        sub_depth: int,
+        seeds_global: list[tuple[int, int, int]],
+        level: int,
+    ) -> None:
+        # observational wrapper: one tracer span per component solved
+        with obs.span("dfs.solve", level=level, vertices=len(vertices)):
+            _solve(vertices, sub_root, sub_depth, seeds_global, level)
+
+    def _solve(
         vertices: list[int],
         sub_root: int,
         sub_depth: int,
@@ -217,7 +219,19 @@ def parallel_dfs(
             lambda task: solve(task[0], task[1], task[2], task[3], level + 1),
         )
 
-    solve(comp_vertices, root, 0, [], 1)
+    with obs.span(
+        "parallel_dfs", n=g.n, m=g.m, backend=backend, kernel_backend=kb
+    ):
+        # restrict to root's component (footnote 4: components are
+        # identified with the parallel CC algorithm)
+        with prof.phase("components"):
+            labels = connected_components(g, t, backend=kb)
+            comp_vertices = [
+                v for v in range(g.n) if labels[v] == labels[root]
+            ]
+            t.charge(g.n, 1)
+
+        solve(comp_vertices, root, 0, [], 1)
 
     prof.export_into(stats)
     result = DFSResult(

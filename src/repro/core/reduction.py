@@ -29,6 +29,7 @@ import random
 from ..graph.graph import Graph
 from ..graph.connectivity import connected_components, component_sizes
 from ..listrank.ranking import prefix_sums_on_lists
+from ..obs import runtime as obs
 from ..pram.tracker import Tracker, log2_ceil
 from .path_merge import MergeResult, merge_paths
 
@@ -217,49 +218,60 @@ def reduce_paths(
             break
         if not short_paths or not long_paths:
             break
-        threshold = max(1.0, min(n ** 0.5, k / 8))
-        res = merge_paths(
-            g, t, long_paths, short_paths, rng, threshold,
-            neighbor_structure=neighbor_structure, backend=backend,
-        )
+        obs.metrics().counter("reduction.iterations").inc()
+        obs.metrics().histogram("reduction.k").observe(k)
+        with obs.span("reduction.iteration", k=k, longs=len(long_paths)):
+            threshold = max(1.0, min(n ** 0.5, k / 8))
+            res = merge_paths(
+                g, t, long_paths, short_paths, rng, threshold,
+                neighbor_structure=neighbor_structure, backend=backend,
+            )
 
-        if res.steps == 0:
-            # the long pool fell below the matching threshold (this happens
-            # below the paper's 48√n regime, where we keep pushing toward a
-            # tighter target): return so the caller re-partitions L/S fresh
-            break
+            if res.steps == 0:
+                # the long pool fell below the matching threshold (this
+                # happens below the paper's 48√n regime, where we keep
+                # pushing toward a tighter target): return so the caller
+                # re-partitions L/S fresh
+                break
 
-        if 12 * len(res.p1) < k:  # exact integer form of |P1| < k/12
-            # Lemma A.2: too few matched paths — one of the two candidates
-            # is a strictly smaller separator. (Below the 48√n regime the
-            # counting guarantee can fail benignly; we then return the
-            # current set and let the caller re-partition.)
-            cands = _fallback_candidates(res, long_paths, short_paths)
-            for cand in (cands["lhat_p_s"], cands["l_p_shat"]):
-                cand = [p for p in cand if p]
-                if len(cand) < k and paths_form_separator(g, t, cand, backend=backend):
-                    return cand
-            break
+            if 12 * len(res.p1) < k:  # exact integer form of |P1| < k/12
+                # Lemma A.2: too few matched paths — one of the two
+                # candidates is a strictly smaller separator. (Below the
+                # 48√n regime the counting guarantee can fail benignly; we
+                # then return the current set and let the caller
+                # re-partition.)
+                cands = _fallback_candidates(res, long_paths, short_paths)
+                for cand in (cands["lhat_p_s"], cands["l_p_shat"]):
+                    cand = [p for p in cand if p]
+                    if len(cand) < k and paths_form_separator(
+                        g, t, cand, backend=backend
+                    ):
+                        return cand
+                break
 
-        merged_longs, remaining_shorts = _assemble_merged(
-            g, t, res, short_paths, rng, backend=backend
-        )
-        committed = merged_longs + remaining_shorts
-        if paths_form_separator(g, t, committed, backend=backend):
-            new_k = len(committed)
-            if new_k >= k and sum(map(len, remaining_shorts)) >= sum(
-                map(len, short_paths)
-            ):
-                raise RuntimeError("reduction made no progress (bug)")
-            long_paths, short_paths = merged_longs, remaining_shorts
-            continue
+            merged_longs, remaining_shorts = _assemble_merged(
+                g, t, res, short_paths, rng, backend=backend
+            )
+            committed = merged_longs + remaining_shorts
+            if paths_form_separator(g, t, committed, backend=backend):
+                new_k = len(committed)
+                if new_k >= k and sum(map(len, remaining_shorts)) >= sum(
+                    map(len, short_paths)
+                ):
+                    raise RuntimeError("reduction made no progress (bug)")
+                long_paths, short_paths = merged_longs, remaining_shorts
+                continue
 
-        # Lemma A.1: the discarded parts broke the separator
-        cand = [p for p in _fallback_candidates(res, long_paths, short_paths)[
-            "l_p_shat"
-        ] if p]
-        if not paths_form_separator(g, t, cand, backend=backend):
-            raise RuntimeError("Lemma A.1 violated: fallback fails (bug)")
-        return cand
+            # Lemma A.1: the discarded parts broke the separator
+            cand = [
+                p
+                for p in _fallback_candidates(res, long_paths, short_paths)[
+                    "l_p_shat"
+                ]
+                if p
+            ]
+            if not paths_form_separator(g, t, cand, backend=backend):
+                raise RuntimeError("Lemma A.1 violated: fallback fails (bug)")
+            return cand
 
     return long_paths + short_paths

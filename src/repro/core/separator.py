@@ -16,6 +16,7 @@ import random
 from dataclasses import dataclass, field
 
 from ..graph.graph import Graph
+from ..obs import runtime as obs
 from ..pram.tracker import Tracker
 from .reduction import reduce_paths, paths_form_separator
 
@@ -70,15 +71,18 @@ def build_separator(
         rounds += 1
         if rounds > max_rounds:
             raise RuntimeError("separator construction did not converge")
-        new_paths = reduce_paths(
-            g, t, paths, rng, goal, neighbor_structure=neighbor_structure,
-            backend=backend,
-        )
-        if verify:
-            assert paths_form_separator(g, t, new_paths, backend=backend), (
-                "reduction returned a non-separator"
+        with obs.span("separator.round", round=rounds, paths=len(paths)):
+            obs.metrics().counter("separator.rounds").inc()
+            new_paths = reduce_paths(
+                g, t, paths, rng, goal,
+                neighbor_structure=neighbor_structure, backend=backend,
             )
-        if len(new_paths) >= len(paths):
+            if verify:
+                assert paths_form_separator(
+                    g, t, new_paths, backend=backend
+                ), "reduction returned a non-separator"
+            stalled = len(new_paths) >= len(paths)
+        if stalled:
             # a stalled round (possible below the paper's 48√n regime); a
             # few retries re-partition L/S with fresh randomness. If that
             # keeps failing, the current set is still a valid separator.

@@ -37,6 +37,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..obs.runtime import metrics as _obs_metrics
 from ..pram.tracker import Tracker, log2_ceil
 from .rng import LockstepUniform, derived_generator
 
@@ -119,6 +120,10 @@ def maximal_matching_arrays(  # repro-lint: disable=R004
             t.charge(4 * k, 4 + logn + log2_ceil(max(2, k)))
     if t is not None:
         t.charge(n, 1)  # matched-flag initialization
+    # recorded after the round loop: obs calls stay out of graph-sized
+    # loops in kernels/ (lint rule R006)
+    _obs_metrics().counter("luby.calls").inc()
+    _obs_metrics().counter("luby.rounds").inc(guard)
     if not chosen:
         return np.empty(0, dtype=np.int64)
     return np.concatenate(chosen)
@@ -178,6 +183,10 @@ def maximal_matching_np(
                 t.charge(4 * k, 4 + logn + log2_ceil(max(2, k)))
     if t is not None:
         t.charge(n, 1)  # matched-flag initialization
+    # recorded after the round loop: obs calls stay out of graph-sized
+    # loops in kernels/ (lint rule R006)
+    _obs_metrics().counter("luby.calls").inc()
+    _obs_metrics().counter("luby.rounds").inc(guard)
     if not chosen:
         return []
     return np.concatenate(chosen).tolist()

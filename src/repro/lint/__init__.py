@@ -10,7 +10,7 @@ invalidates them until a fuzz seed happens to hit it.
 
 This package is the *static* gate: a stdlib-``ast`` analysis pass that
 checks the source-level invariants behind those guarantees at lint
-time, before any test runs.  Five rules ship (see ``docs/lint.md`` for
+time, before any test runs.  Six rules ship (see ``docs/lint.md`` for
 the full catalogue):
 
 * **R001 untracked-work** — loops over non-constant-size iterables in
@@ -26,7 +26,10 @@ the full catalogue):
   the dispatch registry, and ``core/`` entry points that accept
   ``kernel_backend`` but fail to forward it to a dispatched callee;
 * **R005 float-key-compare** — ordering comparisons / min-max keys on
-  float expressions in lockstep-critical code.
+  float expressions in lockstep-critical code;
+* **R006 obs-in-hot-loop** — tracer/metric calls inside potentially
+  graph-sized loops in ``kernels/`` (the zero-overhead fast path must
+  record aggregates after the loop, never per element).
 
 Findings are suppressed per line with ``# repro-lint: disable=R001``
 (comma-separate several ids), per file with

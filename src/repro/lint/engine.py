@@ -18,6 +18,7 @@ from .base import FileContext, Finding, Rule
 from .rules_cost import UntrackedWorkRule
 from .rules_determinism import FloatKeyCompareRule, NondeterministicIterationRule
 from .rules_dispatch import UnregisteredKernelRule
+from .rules_obs import ObsInHotLoopRule
 from .rules_rng import RawRngRule
 from .suppress import parse_suppressions
 
@@ -31,6 +32,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     RawRngRule,
     UnregisteredKernelRule,
     FloatKeyCompareRule,
+    ObsInHotLoopRule,
 )
 
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 import random
 from typing import Sequence
 
+from ..obs.runtime import metrics as _obs_metrics
 from ..pram.tracker import Tracker, log2_ceil
 
 __all__ = ["maximal_matching", "luby_mis", "is_maximal_matching", "is_mis"]
@@ -118,6 +119,9 @@ def maximal_matching(
         t.parallel_for(live, filter_edge)
         live = new_live
 
+    # round count recorded after the loop (cold site, R006-compliant)
+    _obs_metrics().counter("luby.calls").inc()
+    _obs_metrics().counter("luby.rounds").inc(guard)
     return result
 
 
@@ -192,6 +196,7 @@ def luby_mis(
         t.parallel_for(live, filter_v)
         live = new_live
 
+    _obs_metrics().counter("luby.mis_rounds").inc(guard)
     return mis
 
 

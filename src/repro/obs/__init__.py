@@ -1,0 +1,69 @@
+"""Structured tracing and metrics for the DFS pipeline.
+
+Layers (docs/observability.md has the full taxonomy and how-to):
+
+* :mod:`repro.obs.tracer` — nested :class:`Span` records with wall
+  clock, tracked work/span deltas, and structured attributes;
+* :mod:`repro.obs.metrics` — named counters/gauges/histograms the hot
+  structures bump cheaply (splay rotations, HDT promotions, ...);
+* :mod:`repro.obs.runtime` — the process-wide activation point the
+  instrumented call sites delegate to (no-op singletons by default);
+* :mod:`repro.obs.profile` — the driver's :class:`PhaseProfiler`,
+  reimplemented on spans;
+* :mod:`repro.obs.export` — Chrome/Perfetto ``trace_event``, JSONL,
+  and terminal-tree exporters with a schema validator.
+
+The whole layer is observational: it never charges the PRAM
+:class:`~repro.pram.tracker.Tracker`, never draws randomness, and never
+iterates an unordered container — tracing on or off, ``parallel_dfs``
+returns byte-identical trees on both kernel backends.
+"""
+
+from .export import (
+    render_tree,
+    to_trace_events,
+    validate_trace_events,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .metrics import Counter, Gauge, Histogram, Metrics, NULL_METRICS, NullMetrics
+from .profile import PHASE_STAT_PREFIX, PhaseError, PhaseProfiler, phase_seconds
+from .runtime import (
+    Observation,
+    activate,
+    enabled,
+    metrics,
+    span,
+    traced,
+    tracer,
+)
+from .tracer import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metrics",
+    "NULL_METRICS",
+    "NULL_TRACER",
+    "NullMetrics",
+    "NullTracer",
+    "Observation",
+    "PHASE_STAT_PREFIX",
+    "PhaseError",
+    "PhaseProfiler",
+    "Span",
+    "Tracer",
+    "activate",
+    "enabled",
+    "metrics",
+    "phase_seconds",
+    "render_tree",
+    "span",
+    "to_trace_events",
+    "traced",
+    "tracer",
+    "validate_trace_events",
+    "write_chrome_trace",
+    "write_jsonl",
+]

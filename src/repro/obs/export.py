@@ -1,0 +1,267 @@
+"""Exporters: Chrome/Perfetto ``trace_event`` JSON, JSONL, tree report.
+
+Three views of one traced run:
+
+* :func:`write_chrome_trace` — the Chrome ``trace_event`` "JSON object
+  format": ``{"traceEvents": [...]}`` of complete events (``ph: "X"``)
+  with microsecond ``ts``/``dur``, loadable directly in
+  ``chrome://tracing`` or https://ui.perfetto.dev.  Tracked work/span
+  deltas and structured attributes ride in each event's ``args``; the
+  final metrics catalogue is attached under ``otherData``.
+* :func:`write_jsonl` — one self-describing JSON object per line
+  (``{"type": "span", ...}`` / ``{"type": "metric", ...}``), for ad-hoc
+  ``jq``/pandas analysis without a trace viewer.
+* :func:`render_tree` — a terminal report: spans aggregated by their
+  name-path (root→leaf), with call counts, wall seconds, and tracked
+  work/span totals, plus the metrics table.
+
+Exports are deterministic under an injected fixed clock: constant
+``pid``/``tid`` (the simulation is one sequential process), sorted JSON
+keys, and aggregation orders that depend only on span content.
+:func:`validate_trace_events` is the schema gate used by tests and the
+CI trace-smoke step.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+from .metrics import Metrics
+from .tracer import Span, Tracer
+
+__all__ = [
+    "to_trace_events",
+    "validate_trace_events",
+    "write_chrome_trace",
+    "write_jsonl",
+    "render_tree",
+]
+
+#: constant ids: the PRAM simulation is one sequential process/thread,
+#: and constants keep fixed-clock exports byte-identical across runs
+TRACE_PID = 1
+TRACE_TID = 1
+
+_REQUIRED_FIELDS = ("name", "ph", "ts", "dur", "pid", "tid", "args")
+
+
+def _span_args(span: Span) -> dict[str, Any]:
+    args: dict[str, Any] = dict(span.attrs)
+    if span.work_delta is not None:
+        args["tracked_work"] = span.work_delta
+        args["tracked_span"] = span.span_delta
+    return args
+
+
+def to_trace_events(tracer: Tracer) -> list[dict[str, Any]]:
+    """Chrome ``trace_event`` complete events for all finished spans.
+
+    ``ts`` is microseconds since the tracer's origin; events are sorted
+    by (ts, -dur) so enclosing spans precede their children, which is
+    the order trace viewers expect for same-timestamp nesting.
+    """
+    events = []
+    for span in tracer.spans:
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.name.split(".", 1)[0].split(":", 1)[0],
+                "ph": "X",
+                "ts": round((span.t0 - tracer.t_origin) * 1e6, 3),
+                "dur": round(span.dur * 1e6, 3),
+                "pid": TRACE_PID,
+                "tid": TRACE_TID,
+                "args": _span_args(span),
+            }
+        )
+    events.sort(key=lambda e: (e["ts"], -e["dur"]))
+    return events
+
+
+def validate_trace_events(events: list[dict[str, Any]]) -> list[str]:
+    """Schema-check events against the ``trace_event`` complete-event
+    format; returns a list of problems (empty = valid).
+
+    Checks: required fields present, ``ph == "X"``, numeric
+    non-negative ``ts``/``dur``, integer ``pid``/``tid``, dict ``args``,
+    and well-formed nesting on each thread (any two events either
+    disjoint or properly contained — overlapping half-open intervals
+    would render as a corrupt flame graph).
+    """
+    problems: list[str] = []
+    for i, ev in enumerate(events):
+        for fld in _REQUIRED_FIELDS:
+            if fld not in ev:
+                problems.append(f"event {i}: missing field {fld!r}")
+        if ev.get("ph") != "X":
+            problems.append(f"event {i}: ph must be 'X', got {ev.get('ph')!r}")
+        for fld in ("ts", "dur"):
+            val = ev.get(fld)
+            if not isinstance(val, (int, float)) or val < 0:
+                problems.append(f"event {i}: {fld} must be a number >= 0")
+        for fld in ("pid", "tid"):
+            if not isinstance(ev.get(fld), int):
+                problems.append(f"event {i}: {fld} must be an int")
+        if not isinstance(ev.get("args"), dict):
+            problems.append(f"event {i}: args must be an object")
+    if problems:
+        return problems
+    # nesting check per (pid, tid): sorted by (ts, -dur), a stack of
+    # enclosing intervals must always contain the next event
+    by_thread: dict[tuple, list[dict]] = {}
+    for ev in events:
+        by_thread.setdefault((ev["pid"], ev["tid"]), []).append(ev)
+    eps = 1e-6
+    for key, evs in sorted(by_thread.items()):
+        evs = sorted(evs, key=lambda e: (e["ts"], -e["dur"]))
+        stack: list[tuple[float, float]] = []
+        for ev in evs:
+            lo, hi = ev["ts"], ev["ts"] + ev["dur"]
+            while stack and stack[-1][1] <= lo + eps:
+                stack.pop()
+            if stack and hi > stack[-1][1] + eps:
+                problems.append(
+                    f"thread {key}: event {ev['name']!r} [{lo}, {hi}] "
+                    f"overlaps enclosing span ending at {stack[-1][1]}"
+                )
+            stack.append((lo, hi))
+    return problems
+
+
+def write_chrome_trace(
+    path: str, tracer: Tracer, metrics: Metrics | None = None
+) -> list[dict[str, Any]]:
+    """Write the trace-viewer file; returns the emitted events."""
+    events = to_trace_events(tracer)
+    doc: dict[str, Any] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "backend": tracer.backend,
+            "metrics": metrics.as_dict() if metrics is not None else {},
+        },
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, sort_keys=True)
+        fh.write("\n")
+    return events
+
+
+def write_jsonl(
+    path: str, tracer: Tracer, metrics: Metrics | None = None
+) -> int:
+    """Write spans + metrics as JSON lines; returns the line count."""
+    lines = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for span in tracer.spans:
+            rec: dict[str, Any] = {
+                "type": "span",
+                "name": span.name,
+                "sid": span.sid,
+                "parent": span.parent,
+                "depth": span.depth,
+                "ts": round((span.t0 - tracer.t_origin) * 1e6, 3),
+                "dur": round(span.dur * 1e6, 3),
+                "attrs": dict(span.attrs),
+            }
+            if span.work_delta is not None:
+                rec["tracked_work"] = span.work_delta
+                rec["tracked_span"] = span.span_delta
+            fh.write(json.dumps(rec, sort_keys=True) + "\n")
+            lines += 1
+        if metrics is not None:
+            for name, value in metrics.as_dict().items():
+                fh.write(
+                    json.dumps(
+                        {"type": "metric", "name": name, "value": value},
+                        sort_keys=True,
+                    )
+                    + "\n"
+                )
+                lines += 1
+    return lines
+
+
+# ----------------------------------------------------------------------
+# terminal tree report
+# ----------------------------------------------------------------------
+
+class _Agg:
+    __slots__ = ("calls", "wall", "work", "span", "children")
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.wall = 0.0
+        self.work = 0
+        self.span = 0
+        self.children: dict[str, _Agg] = {}
+
+
+def _aggregate(tracer: Tracer) -> _Agg:
+    """Fold finished spans into a tree keyed by name-path."""
+    by_sid = {s.sid: s for s in tracer.spans}
+    root = _Agg()
+
+    def path_of(span: Span) -> list[str]:
+        names: list[str] = []
+        cur: Span | None = span
+        while cur is not None:
+            names.append(cur.name)
+            cur = by_sid.get(cur.parent) if cur.parent is not None else None
+        return list(reversed(names))
+
+    for span in tracer.spans:
+        node = root
+        for name in path_of(span):
+            node = node.children.setdefault(name, _Agg())
+        node.calls += 1
+        node.wall += span.dur
+        if span.work_delta is not None:
+            node.work += span.work_delta
+            node.span += span.span_delta or 0
+    return root
+
+
+def render_tree(
+    tracer: Tracer, metrics: Metrics | None = None
+) -> str:
+    """Human-readable aggregate: one line per span name-path."""
+    root = _aggregate(tracer)
+    lines = [
+        f"{'span':<44} {'calls':>7} {'wall_s':>9} "
+        f"{'tracked_work':>13} {'tracked_span':>13}"
+    ]
+    lines.append("-" * len(lines[0]))
+
+    def emit(node: _Agg, name: str, indent: int) -> None:
+        label = ("  " * indent + name)[:44]
+        lines.append(
+            f"{label:<44} {node.calls:>7} {node.wall:>9.3f} "
+            f"{node.work:>13} {node.span:>13}"
+        )
+        for child_name, child in sorted(
+            node.children.items(), key=lambda kv: (-kv[1].wall, kv[0])
+        ):
+            emit(child, child_name, indent + 1)
+
+    for name, node in sorted(
+        root.children.items(), key=lambda kv: (-kv[1].wall, kv[0])
+    ):
+        emit(node, name, 0)
+
+    if metrics is not None:
+        table = metrics.as_dict()
+        if table:
+            lines.append("")
+            lines.append(f"{'metric':<44} value")
+            lines.append("-" * 52)
+            for name, value in table.items():
+                if isinstance(value, Mapping):
+                    value = (
+                        f"n={value['count']} total={value['total']} "
+                        f"min={value['min']} max={value['max']} "
+                        f"mean={value['mean']}"
+                    )
+                lines.append(f"{name:<44} {value}")
+    return "\n".join(lines)

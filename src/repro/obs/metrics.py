@@ -1,0 +1,188 @@
+"""Named counters, gauges, and histograms for the DFS pipeline.
+
+The hot structures (splay forests, HDT levels, RC-trees, Luby rounds)
+report *what the machinery did* — rotation counts, promotion counts,
+replacement-scan lengths — through instruments handed out by a
+:class:`Metrics` registry.  Three properties matter here:
+
+* **cheap on the hot path** — a :class:`Counter` is a slotted object
+  holding one integer; per-element sites bump ``counter.value += 1``
+  directly (no method call), and per-batch sites use :meth:`Counter.inc`.
+  A :class:`Histogram` keeps only count/total/min/max — O(1) state, no
+  buckets to rebalance.
+* **observational only** — instruments never touch the
+  :class:`~repro.pram.tracker.Tracker`, the RNG, or any iteration order,
+  so enabling metrics cannot perturb tracked work/span or the
+  byte-identical tracked↔numpy contract.
+* **deterministic export** — :meth:`Metrics.as_dict` reports in sorted
+  name order, so ledgers and traces diff cleanly across runs.
+
+:data:`NULL_METRICS` is the disabled-mode registry: it hands out fresh
+*unregistered* instruments, so instrumented code runs identically (same
+integer bumps) whether or not anyone is collecting — the registry simply
+never sees the values.  This keeps the disabled path free of branches.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metrics",
+    "NullMetrics",
+    "NULL_METRICS",
+]
+
+
+class Counter:
+    """A monotonically growing integer.
+
+    Hot loops bump :attr:`value` directly (``ctr.value += 1``); colder
+    sites use :meth:`inc` for readability.
+    """
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, delta: int = 1) -> None:
+        self.value += delta
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A last-value-wins instrument (e.g. "levels materialized")."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def set(self, value: int | float) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Gauge({self.name}={self.value})"
+
+
+class Histogram:
+    """count/total/min/max summary of an observed distribution.
+
+    Deliberately bucket-free: O(1) state and a handful of integer ops
+    per :meth:`observe`, cheap enough to live at per-splay granularity.
+    """
+
+    __slots__ = ("name", "count", "total", "vmin", "vmax")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0
+        self.vmin = 0
+        self.vmax = 0
+
+    def observe(self, v: int | float) -> None:
+        if self.count == 0:
+            self.vmin = self.vmax = v
+        else:
+            if v < self.vmin:
+                self.vmin = v
+            if v > self.vmax:
+                self.vmax = v
+        self.count += 1
+        self.total += v
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.vmin,
+            "max": self.vmax,
+            "mean": round(self.mean, 3),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Histogram({self.name}: {self.summary()})"
+
+
+class Metrics:
+    """Registry handing out named instruments, memoized per name.
+
+    Asking twice for the same name returns the same instrument, so
+    independent structures (e.g. every :class:`EulerTourForest` level)
+    accumulate into one shared counter.  A name is permanently bound to
+    its first instrument kind; asking for the same name as a different
+    kind raises.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, cls):
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = self._instruments[name] = cls(name)
+        elif type(inst) is not cls:
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(inst).__name__}, not {cls.__name__}"
+            )
+        return inst
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def as_dict(self) -> dict:
+        """All instruments in sorted name order.
+
+        Counters/gauges export their value; histograms their summary
+        dict.  Instruments never observed still appear (value 0 /
+        count 0) so the catalogue is visible in every export.
+        """
+        out: dict = {}
+        for name in sorted(self._instruments):
+            inst = self._instruments[name]
+            if isinstance(inst, Histogram):
+                out[name] = inst.summary()
+            else:
+                out[name] = inst.value
+        return out
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+
+class NullMetrics(Metrics):
+    """Disabled-mode registry: fresh unregistered instruments.
+
+    Instrumented code pays the same (tiny) integer bumps either way;
+    nothing is retained, and :meth:`as_dict` is always empty.  Handing
+    out *fresh* instruments (instead of one shared dummy) keeps a stray
+    reader from seeing garbage accumulated across unrelated runs.
+    """
+
+    def _get(self, name: str, cls):
+        return cls(name)
+
+    def as_dict(self) -> dict:
+        return {}
+
+
+#: process-wide disabled registry (see :mod:`repro.obs.runtime`)
+NULL_METRICS = NullMetrics()

@@ -1,0 +1,116 @@
+"""Phase-level wall-clock profiling, reimplemented on tracer spans.
+
+:class:`PhaseProfiler` keeps the contract PR 2 established — per-phase
+``seconds_<name>`` entries in ``DFSResult.stats``, recursion-safe
+same-phase nesting, zero Tracker charges — but each phase section now
+also opens a ``phase:<name>`` span on the active tracer
+(:mod:`repro.obs.runtime`), so a traced run gets its coarse phase
+timeline and its fine-grained round spans from one instrument stack.
+
+Two failure modes that used to pass silently are now hard errors
+(:class:`PhaseError`):
+
+* **overlapping phases** — opening phase ``b`` while phase ``a`` is
+  still open would charge the same wall-clock interval to both buckets
+  (the double-charge bug); the driver's phases are strictly sequential,
+  so overlap means a refactor broke the invariant.
+* **unclosed/colliding export** — :meth:`PhaseProfiler.export_into`
+  refuses to run while a phase is open, and refuses to overwrite an
+  existing stats key instead of silently clobbering it.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator, Mapping
+
+from . import runtime
+
+__all__ = ["PhaseError", "PhaseProfiler", "PHASE_STAT_PREFIX", "phase_seconds"]
+
+#: stats key prefix under which the driver records per-phase wall clock
+PHASE_STAT_PREFIX = "seconds_"
+
+
+class PhaseError(RuntimeError):
+    """Phase bookkeeping violation (overlap, unclosed, or collision)."""
+
+
+class PhaseProfiler:
+    """Wall-clock accumulator for the driver's phases.
+
+    ``with prof.phase("separator"): ...`` adds the elapsed
+    ``time.perf_counter`` seconds to that phase's bucket.  Nested or
+    recursive sections of the *same* phase are timed only at the
+    outermost level, so the recursion in ``parallel_dfs`` never
+    double-counts; opening a *different* phase while one is open raises
+    :class:`PhaseError` (that interval would otherwise be charged to
+    both buckets).  Purely observational: no Tracker charges, identical
+    work/span with or without it.
+    """
+
+    __slots__ = ("seconds", "_open_name", "_open_depth", "_start")
+
+    def __init__(self) -> None:
+        self.seconds: dict[str, float] = {}
+        self._open_name: str | None = None
+        self._open_depth = 0
+        self._start = 0.0
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        if self._open_name is not None and self._open_name != name:
+            raise PhaseError(
+                f"phase {name!r} opened while phase {self._open_name!r} is "
+                "still open; phases must be sequential or re-entrant on the "
+                "same name (overlap would double-charge the interval)"
+            )
+        outermost = self._open_depth == 0
+        self._open_name = name
+        self._open_depth += 1
+        if outermost:
+            self._start = time.perf_counter()
+        try:
+            with runtime.span("phase:" + name):
+                yield
+        finally:
+            self._open_depth -= 1
+            if self._open_depth == 0:
+                self._open_name = None
+                self.seconds[name] = self.seconds.get(name, 0.0) + (
+                    time.perf_counter() - self._start
+                )
+
+    def export_into(self, stats: dict) -> None:
+        """Write ``seconds_<phase>`` entries into a stats dict.
+
+        Raises :class:`PhaseError` if a phase is still open (the totals
+        would be missing its tail) or if a target key already exists
+        (silent overwrite was the original double-charge hazard).
+        """
+        if self._open_depth:
+            raise PhaseError(
+                f"cannot export with phase {self._open_name!r} still open"
+            )
+        for name, secs in sorted(self.seconds.items()):
+            key = PHASE_STAT_PREFIX + name
+            if key in stats:
+                raise PhaseError(
+                    f"stats key {key!r} already present; refusing to "
+                    "overwrite (was export_into called twice?)"
+                )
+            stats[key] = secs
+
+
+def phase_seconds(stats: Mapping) -> dict[str, float]:
+    """Per-phase wall-clock seconds recorded in a ``DFSResult.stats``.
+
+    Inverse of :meth:`PhaseProfiler.export_into`; empty if the run was
+    not profiled.
+    """
+    return {
+        key[len(PHASE_STAT_PREFIX) :]: float(val)
+        for key, val in stats.items()
+        if key.startswith(PHASE_STAT_PREFIX)
+    }

@@ -1,0 +1,218 @@
+"""Structured spans over the DFS pipeline.
+
+A :class:`Tracer` produces nested :class:`Span` records: wall-clock
+interval, nesting (parent id / depth), structured attributes (round
+index, path count, batch size, ...), and — when the tracer holds a
+:class:`~repro.pram.tracker.Tracker` — the *tracked work/span deltas*
+accumulated while the span was open, snapshotted via
+:meth:`Tracker.snapshot` / :meth:`Tracker.delta`.  Spans are what the
+exporters (:mod:`repro.obs.export`) turn into Chrome ``trace_event``
+timelines, JSONL streams, and the terminal tree report.
+
+Two hard rules, enforced by tests:
+
+* **observational only** — opening or closing a span never charges the
+  Tracker, draws randomness, or iterates a set/dict: with tracing
+  enabled, ``parallel_dfs`` returns byte-identical trees on both kernel
+  backends, and tracked work/span totals are unchanged.
+* **zero-overhead when disabled** — the module-wide default is
+  :data:`NULL_TRACER`, whose :meth:`~NullTracer.span` hands back one
+  shared no-op span; instrumented call sites cost a function call and
+  a dict literal, placed only at phase/round/batch granularity (lint
+  rule R006 keeps them out of the per-element kernels).
+
+The terminology collision is acknowledged head-on: a *tracer span* is a
+named wall-clock interval; the *tracked span* (:attr:`Span.span_delta`)
+is the PRAM depth accumulated inside it.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
+    from ..pram.tracker import Tracker
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER"]
+
+
+class Span:
+    """One named interval of the pipeline; also its own context manager."""
+
+    __slots__ = (
+        "tracer",
+        "name",
+        "sid",
+        "parent",
+        "depth",
+        "attrs",
+        "t0",
+        "dur",
+        "work0",
+        "depth0",
+        "work_delta",
+        "span_delta",
+    )
+
+    def __init__(
+        self, tracer: "Tracer", name: str, sid: int, parent: int | None,
+        depth: int, attrs: dict[str, Any],
+    ) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.sid = sid
+        self.parent = parent
+        self.depth = depth
+        self.attrs = attrs
+        self.t0 = 0.0
+        self.dur = 0.0
+        self.work0 = 0
+        self.depth0 = 0
+        #: tracked work accumulated while open (None without a tracker)
+        self.work_delta: int | None = None
+        #: tracked span (PRAM depth) accumulated while open
+        self.span_delta: int | None = None
+
+    def set(self, key: str, value: Any) -> None:
+        """Attach/overwrite one structured attribute mid-flight."""
+        self.attrs[key] = value
+
+    def __enter__(self) -> "Span":
+        tr = self.tracer
+        tr._stack.append(self)
+        t = tr.tracker
+        if t is not None:
+            self.work0, self.depth0 = t.snapshot()
+        self.t0 = tr.clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        tr = self.tracer
+        self.dur = tr.clock() - self.t0
+        t = tr.tracker
+        if t is not None:
+            from ..pram.tracker import Cost
+
+            d = t.delta(Cost(self.work0, self.depth0))
+            self.work_delta = d.work
+            self.span_delta = d.span
+        popped = tr._stack.pop()
+        assert popped is self, "span stack corrupted (overlapping exits)"
+        tr.spans.append(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Span({self.name!r}, dur={self.dur:.6f}, attrs={self.attrs})"
+
+
+class Tracer:
+    """Produces nested spans; collects them in completion order.
+
+    ``tracker`` (optional) is snapshotted at span boundaries for
+    work/span deltas; ``clock`` is injectable for deterministic tests
+    (defaults to :func:`time.perf_counter`); ``backend`` is a free-form
+    label stamped on exports (e.g. the resolved kernel backend).
+    """
+
+    def __init__(
+        self,
+        tracker: "Tracker | None" = None,
+        clock: Callable[[], float] = time.perf_counter,
+        backend: str | None = None,
+    ) -> None:
+        self.tracker = tracker
+        self.clock = clock
+        self.backend = backend
+        self.t_origin = clock()
+        #: finished spans, in completion order
+        self.spans: list[Span] = []
+        self._stack: list[Span] = []
+        self._next_sid = 0
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attrs: Any) -> Span:
+        """A new span nested under the currently open one.
+
+        Use as ``with tracer.span("separator.round", k=k) as sp: ...``;
+        the span records itself on ``__exit__``.
+        """
+        sid = self._next_sid
+        self._next_sid += 1
+        top = self._stack[-1] if self._stack else None
+        return Span(
+            self,
+            name,
+            sid,
+            top.sid if top is not None else None,
+            top.depth + 1 if top is not None else 0,
+            attrs,
+        )
+
+    def wrap(self, name: str, **attrs: Any):
+        """Decorator form: the whole call body becomes one span."""
+
+        def deco(fn):
+            def wrapper(*args, **kwargs):
+                with self.span(name, **attrs):
+                    return fn(*args, **kwargs)
+
+            wrapper.__name__ = getattr(fn, "__name__", name)
+            wrapper.__doc__ = fn.__doc__
+            wrapper.__wrapped__ = fn
+            return wrapper
+
+        return deco
+
+    # ------------------------------------------------------------------
+    @property
+    def open_depth(self) -> int:
+        return len(self._stack)
+
+    def roots(self) -> list[Span]:
+        """Finished top-level spans, in completion order."""
+        return [s for s in self.spans if s.parent is None]
+
+    def children_of(self, sid: int | None) -> list[Span]:
+        """Finished children of the given span id, in completion order."""
+        return [s for s in self.spans if s.parent == sid]
+
+
+class _NullSpan:
+    """Shared do-nothing span: the disabled-mode fast path."""
+
+    __slots__ = ()
+
+    def set(self, key: str, value: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Disabled tracer: every span is the shared no-op span."""
+
+    __slots__ = ()
+
+    tracker = None
+    backend = None
+    spans: list = []  # intentionally shared and always empty
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def wrap(self, name: str, **attrs: Any):
+        def deco(fn):
+            return fn
+
+        return deco
+
+
+#: process-wide disabled tracer (see :mod:`repro.obs.runtime`)
+NULL_TRACER = NullTracer()

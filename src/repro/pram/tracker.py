@@ -59,6 +59,11 @@ class Cost:
     work: int = 0
     span: int = 0
 
+    def __iter__(self):
+        # tuple-compatible: ``work, span = tracker.snapshot()``
+        yield self.work
+        yield self.span
+
     def __add__(self, other: "Cost") -> "Cost":
         # Sequential composition.
         return Cost(self.work + other.work, self.span + other.span)
@@ -241,8 +246,22 @@ class Tracker:
         tot.calls += 1
 
     def snapshot(self) -> Cost:
-        """Return the current running totals as a :class:`Cost`."""
+        """The current running ``(work, span)`` totals as a
+        tuple-unpackable :class:`Cost`.
+
+        Reading the totals is *free* in the cost model: the observability
+        layer snapshots at every span boundary, and instrumentation must
+        not perturb the quantities it measures (pinned by test).
+        """
         return Cost(self.work, self.span)
+
+    def delta(self, since: Cost) -> Cost:
+        """Totals accumulated since an earlier :meth:`snapshot`.
+
+        Like :meth:`snapshot`, charges nothing — this is the read the
+        tracer uses to attribute tracked work/span to a span.
+        """
+        return Cost(self.work - since.work, self.span - since.span)
 
     def region_report(self) -> dict[str, dict[str, int]]:
         """Per-region totals as plain dictionaries, in name order."""

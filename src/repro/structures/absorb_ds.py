@@ -43,6 +43,7 @@ from typing import Iterable, Sequence
 
 from ..graph.graph import Graph
 from ..kernels.dispatch import resolve_backend
+from ..obs.runtime import metrics as _obs_metrics
 from ..pram.tracker import Tracker
 from .hdt import HDTConnectivity
 from .link_cut import LinkCutForest
@@ -109,6 +110,9 @@ class AbsorptionStructure:
         self.low_witness: dict[int, tuple[int, int]] = {}
         #: vertices already deleted (absorbed into T')
         self.deleted: set[int] = set()
+        # observability instruments (bound once; see docs/observability.md)
+        self._c_bd = _obs_metrics().counter("absorb.batch_deletes")
+        self._h_bd_edges = _obs_metrics().histogram("absorb.batch_delete_edges")
 
     # ------------------------------------------------------------------
     # setup / incremental facts
@@ -266,6 +270,8 @@ class AbsorptionStructure:
             gathered += len(self.hdt.incident[v])
             eids.update(self.hdt.incident[v])
         t.charge(len(dead) + gathered, 8)
+        self._c_bd.value += 1
+        self._h_bd_edges.observe(gathered)
         changes = self.hdt.batch_delete(sorted(eids))
 
         # 3) replay level-0 forest changes into the path-query mirror as one

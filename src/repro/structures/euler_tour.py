@@ -29,6 +29,7 @@ parallelism across *independent components* is expressed by the callers.
 from __future__ import annotations
 
 
+from ..obs.runtime import metrics as _obs_metrics
 from ..pram.tracker import Tracker
 
 __all__ = ["EulerTourForest", "TourNode"]
@@ -98,6 +99,11 @@ class EulerTourForest:
         self.t.charge(n, 1)
         #: arc nodes keyed by directed pair
         self.arcs: dict[tuple[int, int], TourNode] = {}
+        # observability instruments, bound once at construction; hot paths
+        # bump `.value` directly (a no-op registry hands out unregistered
+        # instruments, so the disabled path runs the identical code)
+        self._c_rot = _obs_metrics().counter("ett.splay_rotations")
+        self._h_splay = _obs_metrics().histogram("ett.splay_depth")
 
     # ------------------------------------------------------------------
     # splay machinery
@@ -145,6 +151,7 @@ class EulerTourForest:
 
     def _rotate(self, x: TourNode) -> None:
         self.t.op(1)
+        self._c_rot.value += 1
         p = x.parent
         g = p.parent
         if p.left is x:
@@ -168,6 +175,7 @@ class EulerTourForest:
         self._pull(x)
 
     def _splay(self, x: TourNode) -> TourNode:
+        r0 = self._c_rot.value
         while x.parent is not None:
             p = x.parent
             g = p.parent
@@ -179,6 +187,8 @@ class EulerTourForest:
             else:
                 self._rotate(x)
                 self._rotate(x)
+        # rotation count == splay depth of x (amortized O(log n))
+        self._h_splay.observe(self._c_rot.value - r0)
         return x
 
     def _find_root(self, x: TourNode) -> TourNode:

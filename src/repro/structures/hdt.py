@@ -42,6 +42,7 @@ from typing import Sequence
 from ..graph.graph import Graph
 from ..graph.connectivity import spanning_forest
 from ..kernels.dispatch import resolve_backend
+from ..obs import runtime as obs
 from ..pram.tracker import Tracker
 from .euler_tour import EulerTourForest
 
@@ -101,6 +102,9 @@ class HDTConnectivity:
         #: canonical (min,max) endpoint pair -> tree edge id, for arcs found
         #: via the val2 aggregate
         self._pair_to_eid: dict[tuple[int, int], int] = {}
+        # observability instruments (bound once; see docs/observability.md)
+        self._c_promote = obs.metrics().counter("hdt.promotions")
+        self._h_scan = obs.metrics().histogram("hdt.replacement_scan")
 
         t = self.t
         _, forest = spanning_forest(g, t, backend=self.kernel_backend)
@@ -337,6 +341,10 @@ class HDTConnectivity:
 
     def batch_delete(self, eids: Sequence[int]) -> list[ForestChange]:
         """Delete a batch of edges; returns the level-0 forest changes."""
+        with obs.span("hdt.batch_delete", batch=len(eids)):
+            return self._batch_delete(eids)
+
+    def _batch_delete(self, eids: Sequence[int]) -> list[ForestChange]:
         t = self.t
         changes: list[ForestChange] = []
         tree_eids: list[int] = []
@@ -425,6 +433,7 @@ class HDTConnectivity:
 
             # 1) promote all level-i tree edges of the small side to i+1
             #    (in sorted endpoint-pair order)
+            self._c_promote.value += len(arcs2)
             for key in sorted(arcs2):
                 a, b = key
                 f = self._pair_to_eid[key]
@@ -444,7 +453,9 @@ class HDTConnectivity:
                 t.op(1 + len(s))
                 cand.update(s)
             replacement = None
+            scanned = 0
             for f in sorted(cand):
+                scanned += 1
                 a, b = self.endpoints[f]
                 t.op(1)
                 # remove f from level i bookkeeping either way
@@ -454,6 +465,7 @@ class HDTConnectivity:
                 self.ett[i].add_vertex_val1(b, -1)
                 if a in small_set and b in small_set:
                     # internal to the small side: promote to level i+1
+                    self._c_promote.value += 1
                     self.level[f] = i + 1
                     self.nontree[i + 1][a].add(f)
                     self.nontree[i + 1][b].add(f)
@@ -462,6 +474,7 @@ class HDTConnectivity:
                 else:
                     replacement = f
                     break
+            self._h_scan.observe(scanned)
 
             if replacement is not None:
                 a, b = self.endpoints[replacement]

@@ -23,6 +23,7 @@ Implementation: classic splay-based LCT with lazy path reversal (evert).
 
 from __future__ import annotations
 
+from ..obs.runtime import metrics as _obs_metrics
 from ..pram.tracker import Tracker
 
 __all__ = ["LinkCutForest"]
@@ -51,6 +52,8 @@ class LinkCutForest:
         self._lg = (max(2, n) - 1).bit_length() + 1
         self.nodes = [_LctNode(v) for v in range(n)]
         self.t.charge(n, 1)
+        # observability counter; the hot path bumps `.value` directly
+        self._c_rot = _obs_metrics().counter("lct.splay_rotations")
         #: current edge set, canonical orientation (test support / guards)
         self._edges: set[tuple[int, int]] = set()
 
@@ -84,6 +87,7 @@ class LinkCutForest:
 
     def _rotate(self, x: _LctNode) -> None:
         self.t.op(1)
+        self._c_rot.value += 1
         p = x.parent
         g = p.parent
         p_was_root = self._is_splay_root(p)

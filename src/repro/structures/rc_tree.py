@@ -48,6 +48,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from ..kernels.dispatch import resolve_backend
+from ..obs.runtime import metrics as _obs_metrics
 from ..pram.tracker import Tracker
 
 __all__ = ["RCForest", "Cluster"]
@@ -199,6 +200,10 @@ class RCForest:
         self._edge_cid: dict[tuple[int, int], int] = {}
         self._decisions: list[dict[int, _Decision]] = []
         self._levels: list[_Level] = []
+        # observability instruments (bound once; see docs/observability.md)
+        self._c_updates = _obs_metrics().counter("rc.batch_updates")
+        self._c_rounds = _obs_metrics().counter("rc.contraction_rounds")
+        self._h_batch = _obs_metrics().histogram("rc.batch_size")
         for v in range(n):
             self.clusters[v] = Cluster(v, "vbase", None, -1, (v,), [], 0)
         self.t.charge(n, 1)
@@ -231,6 +236,8 @@ class RCForest:
     ) -> None:
         """Apply a batch of cuts and links to the base forest, then repair
         the hierarchy by change propagation."""
+        self._c_updates.value += 1
+        self._h_batch.observe(len(cuts) + len(links))
         t = self.t
         lvl0 = self._levels[0]
         touched: set[int] = set()
@@ -399,6 +406,7 @@ class RCForest:
         while touched:
             if i >= max_levels:
                 raise RuntimeError("RC hierarchy too deep (bug or bad coins)")
+            self._c_rounds.value += 1
             lvl = self._get_level(i)
             nxt = self._get_level(i + 1)
             decisions = self._decisions[i]

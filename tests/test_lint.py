@@ -381,6 +381,90 @@ def test_r005_suppression():
 
 
 # ----------------------------------------------------------------------
+# R006: observability calls in kernel loops
+# ----------------------------------------------------------------------
+R006_BAD = """
+    from ..obs.runtime import metrics as _obs_metrics
+
+    def scatter_rounds(t, live):
+        while live:
+            _obs_metrics().counter("kernel.rounds").inc()
+            live = live[1:]
+"""
+
+R006_GOOD = """
+    from ..obs.runtime import metrics as _obs_metrics
+
+    def scatter_rounds(t, live):
+        rounds = 0
+        while live:
+            rounds += 1
+            live = live[1:]
+        _obs_metrics().counter("kernel.rounds").inc(rounds)
+"""
+
+
+def test_r006_flags_obs_call_in_kernel_loop():
+    res = run_rule("kernels/example.py", R006_BAD, only=["R006"])
+    # both the alias-rooted call and the .inc/.counter method calls on
+    # its result anchor at the same loop; at least one finding is R006
+    assert rule_ids(res) and set(rule_ids(res)) == {"R006"}
+
+
+def test_r006_accepts_aggregate_recording_after_loop():
+    res = run_rule("kernels/example.py", R006_GOOD, only=["R006"])
+    assert rule_ids(res) == []
+
+
+def test_r006_flags_instrument_method_in_for_loop():
+    src = """
+        def fold(ctr, hist, items):
+            for x in items:
+                hist.observe(x)
+    """
+    res = run_rule("kernels/example.py", src, only=["R006"])
+    assert rule_ids(res) == ["R006"]
+
+
+def test_r006_accepts_constant_sized_loop():
+    src = """
+        from ..obs import runtime as obs
+
+        def probe(t):
+            for name in ("a", "b"):
+                obs.metrics().counter(name).inc()
+    """
+    res = run_rule("kernels/example.py", src, only=["R006"])
+    assert rule_ids(res) == []
+
+
+def test_r006_scope_is_kernels_only():
+    # the same spelling is the sanctioned idiom in structures/ (bound
+    # instruments), so the rule must not fire outside kernels/
+    res = run_rule("structures/example.py", R006_BAD, only=["R006"])
+    assert rule_ids(res) == []
+
+
+def test_r006_suppression():
+    src = """
+        from ..obs import runtime as obs
+
+        def probe(t, items):
+            for x in items:
+                obs.span("kernel.item")  # repro-lint: disable=R006
+    """
+    res = run_rule("kernels/example.py", src, only=["R006"])
+    assert rule_ids(res) == []
+    assert res.suppressed == 1
+
+
+def test_r006_clean_on_real_kernels():
+    """The shipped kernels must satisfy the rule without baseline help."""
+    res = lint_paths([SRC_REPRO / "kernels"], only=["R006"])
+    assert res.findings == []
+
+
+# ----------------------------------------------------------------------
 # suppression machinery
 # ----------------------------------------------------------------------
 def test_disable_file_suppresses_whole_file():
@@ -521,7 +605,7 @@ def test_cli_smoke_under_ten_seconds():
 
 def test_all_rules_have_distinct_ids_and_hints():
     ids = [cls.id for cls in ALL_RULES]
-    assert len(ids) == len(set(ids)) == 5
+    assert len(ids) == len(set(ids)) == 6
     for cls in ALL_RULES:
         rule = cls()
         assert rule.hint, rule.id

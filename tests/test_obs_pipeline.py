@@ -1,0 +1,155 @@
+"""End-to-end observability: tracing must not perturb the pipeline.
+
+The two hard acceptance properties of the tracing layer, checked on a
+real (small) DFS run:
+
+* **lockstep safety** — with tracing active, ``parallel_dfs`` returns
+  byte-identical trees on both kernel backends, with tracked work/span
+  totals identical to the untraced run;
+* **faithful exports** — the traced run yields a schema-valid Chrome
+  trace with the expected nested phase/round spans, per-span tracked
+  deltas that sum consistently, live metrics, and byte-identical export
+  files under an injected fixed clock.
+
+The disabled-mode wall-clock guard lives in ``test_obs_overhead.py``.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.analysis.trace import main as trace_main
+from repro.analysis.trace import trace_dfs, write_exports
+from repro.core.dfs import parallel_dfs
+from repro.graph import generators as G
+from repro.obs.export import validate_trace_events
+from repro.pram.tracker import Tracker
+
+N, M, GRAPH_SEED, DFS_SEED = 300, 600, 3, 9
+
+
+def _graph():
+    return G.gnm_random_connected_graph(N, M, seed=GRAPH_SEED)
+
+
+def _untraced(kb):
+    t = Tracker()
+    res = parallel_dfs(
+        _graph(), 0, tracker=t,
+        rng=random.Random(DFS_SEED), kernel_backend=kb,
+    )
+    return res, t
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        self.t += 1.0
+        return self.t
+
+
+class TestLockstepWithTracing:
+    @pytest.mark.parametrize("kb", ["tracked", "numpy"])
+    def test_tracing_does_not_perturb_tree_or_costs(self, kb):
+        ref, t_ref = _untraced(kb)
+        res, trc, _ = trace_dfs(_graph(), seed=DFS_SEED, kernel_backend=kb)
+        assert res.parent == ref.parent
+        assert res.depth == ref.depth
+        assert (trc.tracker.work, trc.tracker.span) == (t_ref.work, t_ref.span)
+
+    def test_backends_agree_under_tracing(self):
+        res_t, _, _ = trace_dfs(_graph(), seed=DFS_SEED, kernel_backend="tracked")
+        res_n, _, _ = trace_dfs(_graph(), seed=DFS_SEED, kernel_backend="numpy")
+        assert res_t.parent == res_n.parent
+        assert res_t.depth == res_n.depth
+
+
+class TestTracedRunContents:
+    @pytest.fixture(scope="class")
+    def traced(self):
+        return trace_dfs(_graph(), seed=DFS_SEED, kernel_backend="numpy")
+
+    def test_expected_span_taxonomy(self, traced):
+        _, trc, _ = traced
+        names = {s.name for s in trc.spans}
+        assert {
+            "parallel_dfs",
+            "dfs.solve",
+            "phase:components",
+            "phase:separator",
+            "phase:absorb",
+            "separator.round",
+            "absorb.iteration",
+        } <= names
+
+    def test_per_span_tracked_deltas_are_consistent(self, traced):
+        _, trc, _ = traced
+        roots = trc.roots()
+        assert [r.name for r in roots] == ["parallel_dfs"]
+        root = roots[0]
+        assert root.work_delta == trc.tracker.work
+        assert root.span_delta == trc.tracker.span
+        for s in trc.spans:
+            assert s.work_delta is not None and s.work_delta >= 0
+            assert s.span_delta is not None and s.span_delta >= 0
+            # children partition (at most) the parent's tracked work
+            kids = trc.children_of(s.sid)
+            assert sum(k.work_delta for k in kids) <= s.work_delta
+
+    def test_metrics_are_live(self, traced):
+        _, _, mtr = traced
+        table = mtr.as_dict()
+        assert table["separator.rounds"] > 0
+        assert table["ett.splay_rotations"] > 0
+        assert table["absorb.iterations"] > 0
+        assert table["hdt.promotions"] >= 0
+
+    def test_phase_stats_still_exported(self, traced):
+        res, _, _ = traced
+        assert {"seconds_separator", "seconds_absorb", "seconds_components"} <= set(
+            res.stats
+        )
+
+    def test_exports_are_schema_valid(self, traced, tmp_path):
+        _, trc, mtr = traced
+        out = write_exports(str(tmp_path), trc, mtr)
+        assert out["problems"] == []
+        assert len(out["events"]) == len(trc.spans)
+        for fname in ("trace.json", "trace.jsonl", "trace.txt"):
+            assert (tmp_path / fname).exists()
+        assert "parallel_dfs" in out["report"]
+
+
+class TestDeterministicTracedExport:
+    def test_fixed_clock_runs_are_byte_identical(self, tmp_path):
+        files = []
+        for tag in ("a", "b"):
+            _, trc, mtr = trace_dfs(
+                _graph(), seed=DFS_SEED, kernel_backend="numpy",
+                clock=FakeClock(),
+            )
+            out = write_exports(str(tmp_path / tag), trc, mtr)
+            assert out["problems"] == []
+            files.append(tmp_path / tag)
+        for fname in ("trace.json", "trace.jsonl", "trace.txt"):
+            assert (files[0] / fname).read_bytes() == (files[1] / fname).read_bytes()
+
+
+class TestTraceCli:
+    def test_cli_writes_valid_trace(self, tmp_path, capsys):
+        out = str(tmp_path / "out")
+        rc = trace_main(
+            ["--family", "gnm", "--n", "120", "--seed", "5",
+             "--kernel-backend", "numpy", "--out", out]
+        )
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "parallel_dfs" in captured.out
+        doc = json.loads((tmp_path / "out" / "trace.json").read_text())
+        assert doc["traceEvents"]
+        assert validate_trace_events(doc["traceEvents"]) == []
+        assert doc["otherData"]["backend"] == "numpy"
+        assert doc["otherData"]["metrics"]["separator.rounds"] > 0

@@ -1,0 +1,131 @@
+"""PhaseProfiler regression tests (satellite of the obs PR).
+
+Pins the re-entrancy and error contracts introduced when the profiler
+was reimplemented on tracer spans: overlapping phases raise, same-name
+recursion is timed only at the outermost level, ``export_into`` refuses
+open phases and key collisions, and each phase section opens a
+``phase:<name>`` span on the active tracer.
+"""
+
+import itertools
+
+import pytest
+
+from repro.obs import Tracer, activate
+from repro.obs import profile as profile_mod
+from repro.obs.profile import (
+    PHASE_STAT_PREFIX,
+    PhaseError,
+    PhaseProfiler,
+    phase_seconds,
+)
+
+
+@pytest.fixture
+def tick_clock(monkeypatch):
+    """Replace the profiler's clock: advances 1.0 per call."""
+    counter = itertools.count(1)
+    monkeypatch.setattr(
+        profile_mod.time, "perf_counter", lambda: float(next(counter))
+    )
+
+
+class TestPhaseBookkeeping:
+    def test_sequential_phases_accumulate(self, tick_clock):
+        prof = PhaseProfiler()
+        with prof.phase("a"):
+            pass  # open reads 1.0, close reads 2.0
+        with prof.phase("b"):
+            pass  # 3.0 .. 4.0
+        with prof.phase("a"):
+            pass  # 5.0 .. 6.0
+        assert prof.seconds == {"a": 2.0, "b": 1.0}
+
+    def test_same_name_reentrancy_timed_once_at_outermost(self, tick_clock):
+        prof = PhaseProfiler()
+        with prof.phase("solve"):  # open reads 1.0
+            with prof.phase("solve"):  # inner: no clock reads
+                with prof.phase("solve"):
+                    pass
+        # close reads 2.0; double-counting would report > 1.0
+        assert prof.seconds == {"solve": 1.0}
+
+    def test_cross_name_overlap_raises(self):
+        prof = PhaseProfiler()
+        with pytest.raises(PhaseError, match="still open"):
+            with prof.phase("a"):
+                with prof.phase("b"):
+                    pass
+
+    def test_overlap_error_names_both_phases(self):
+        prof = PhaseProfiler()
+        with pytest.raises(PhaseError, match=r"'b'.*'a'"):
+            with prof.phase("a"):
+                with prof.phase("b"):
+                    pass
+
+    def test_usable_after_overlap_error(self, tick_clock):
+        prof = PhaseProfiler()
+        with pytest.raises(PhaseError):
+            with prof.phase("a"):
+                with prof.phase("b"):
+                    pass
+        # the failed open did not corrupt the bookkeeping
+        with prof.phase("c"):
+            pass
+        assert "c" in prof.seconds
+        assert prof._open_depth == 0
+
+
+class TestExportInto:
+    def test_export_writes_prefixed_keys(self, tick_clock):
+        prof = PhaseProfiler()
+        with prof.phase("sep"):
+            pass
+        stats: dict = {"work": 10}
+        prof.export_into(stats)
+        assert stats[PHASE_STAT_PREFIX + "sep"] == 1.0
+        assert phase_seconds(stats) == {"sep": 1.0}
+
+    def test_export_with_open_phase_raises(self):
+        prof = PhaseProfiler()
+        with pytest.raises(PhaseError, match="still open"):
+            with prof.phase("a"):
+                prof.export_into({})
+
+    def test_export_key_collision_raises(self, tick_clock):
+        prof = PhaseProfiler()
+        with prof.phase("sep"):
+            pass
+        stats = {PHASE_STAT_PREFIX + "sep": 0.5}
+        with pytest.raises(PhaseError, match="already present"):
+            prof.export_into(stats)
+
+    def test_double_export_raises(self, tick_clock):
+        prof = PhaseProfiler()
+        with prof.phase("sep"):
+            pass
+        stats: dict = {}
+        prof.export_into(stats)
+        with pytest.raises(PhaseError, match="called twice"):
+            prof.export_into(stats)
+
+
+class TestPhaseSpans:
+    def test_phase_opens_span_on_active_tracer(self):
+        trc = Tracer()
+        prof = PhaseProfiler()
+        with activate(trc):
+            with prof.phase("separator"):
+                with prof.phase("separator"):
+                    pass
+        # every section opens a span, including re-entrant ones
+        assert [s.name for s in trc.spans] == [
+            "phase:separator", "phase:separator",
+        ]
+
+    def test_disabled_tracer_is_untouched(self):
+        prof = PhaseProfiler()
+        with prof.phase("separator"):
+            pass
+        assert prof.seconds.keys() == {"separator"}

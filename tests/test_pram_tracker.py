@@ -168,3 +168,30 @@ class TestMeasurement:
         assert (s.work, s.span) == (2, 2)
         t.op(1)
         assert (s.work, s.span) == (2, 2)  # snapshot is a copy
+
+    def test_snapshot_tuple_unpack(self):
+        t = Tracker()
+        t.op(3)
+        work, span = t.snapshot()
+        assert (work, span) == (3, 3)
+
+    def test_delta_since_snapshot(self):
+        t = Tracker(fork_overhead=False)
+        t.op(5)
+        before = t.snapshot()
+        t.op(3)
+        t.parallel_for([1, 1], lambda w: t.op(w))
+        d = t.delta(before)
+        assert (d.work, d.span) == (5, 4)
+        # empty interval: delta of a fresh snapshot is zero
+        now = t.snapshot()
+        z = t.delta(now)
+        assert (z.work, z.span) == (0, 0)
+
+    def test_snapshot_and_delta_charge_nothing(self):
+        # the observability reads must not perturb what they measure
+        t = Tracker()
+        t.op(7)
+        for _ in range(100):
+            t.delta(t.snapshot())
+        assert (t.work, t.span) == (7, 7)
