@@ -10,10 +10,11 @@ claimed bounds); wall-clock numbers reported by pytest-benchmark time the
 simulation, not the algorithm, and are used only in E14.
 
 Alongside the human-readable tables, the harness maintains one
-machine-readable ledger, ``results/BENCH_PR5.json`` (one file per PR;
-earlier numbers stay frozen in ``BENCH_PR1.json``..``BENCH_PR3.json``):
+machine-readable ledger, ``results/BENCH_PR6.json`` (one file per PR;
+earlier numbers stay frozen in ``BENCH_PR1.json``..``BENCH_PR5.json``):
 every benchmark test
-gets its wall-clock seconds recorded automatically, and experiments that
+gets its wall-clock seconds *and peak RSS* recorded automatically, and
+experiments that
 measure tracked work/span can attach those numbers via ``publish(...,
 data=...)`` (or ``publish_json`` directly). Each entry also records the
 git commit and the resolved kernel backend active when it was written,
@@ -25,13 +26,14 @@ from __future__ import annotations
 
 import json
 import os
+import resource
 import subprocess
 import time
 
 import pytest
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
-BENCH_JSON = os.path.join(RESULTS_DIR, "BENCH_PR5.json")
+BENCH_JSON = os.path.join(RESULTS_DIR, "BENCH_PR6.json")
 
 _git_sha: str | None = None
 
@@ -73,7 +75,7 @@ def publish_json(name: str, record: dict) -> None:
 def publish(name: str, text: str, data: dict | None = None) -> None:
     """Print an experiment's table and persist it under results/.
 
-    ``data``, when given, is merged into ``BENCH_PR5.json`` under the
+    ``data``, when given, is merged into ``BENCH_PR6.json`` under the
     experiment's name — use it for the tracked work/span numbers the
     text table reports, so regressions are diffable by machine.
     """
@@ -88,10 +90,19 @@ def publish(name: str, text: str, data: dict | None = None) -> None:
 
 @pytest.fixture(autouse=True)
 def _bench_walltime(request):
-    """Record every benchmark test's wall-clock in the JSON ledger."""
+    """Record every benchmark test's wall-clock and peak RSS in the ledger.
+
+    ``ru_maxrss`` is the process high-water mark (KiB on Linux), so each
+    test's number is really "peak so far this process" — comparable
+    across PRs as long as the suite runs in one process in file order,
+    and exact for the biggest-footprint test.
+    """
     t0 = time.perf_counter()
     yield
     publish_json(
         request.node.name,
-        {"wall_s": round(time.perf_counter() - t0, 3)},
+        {
+            "wall_s": round(time.perf_counter() - t0, 3),
+            "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        },
     )

@@ -23,14 +23,18 @@ Two kinds of cases:
 
 * **Op-sequence cases** (:func:`check_ops_case`) — a random sequence of
   ``set_separator`` / ``unset_separator`` / ``set_tree_neighbor`` /
-  ``batch_delete`` calls applied in lockstep to one
-  :class:`~repro.structures.absorb_ds.AbsorptionStructure` per backend
-  and to :class:`NaiveAbsorptionModel` (BFS recomputation). After every
-  step the Lemma 5.1 queries (``find_cc``, ``lowest_node``,
+  ``batch_delete`` calls applied in lockstep to one Lemma 5.1 structure
+  per (structure backend x kernel backend) pair — the RC-mirrored
+  :class:`~repro.structures.absorb_ds.AbsorptionStructure` and the flat
+  pair (link-cut mirror under tracked, the array-native
+  :class:`~repro.structures.flat_absorb.FlatAbsorptionStructure` under
+  numpy) — and to :class:`NaiveAbsorptionModel` (BFS recomputation).
+  After every step the Lemma 5.1 queries (``find_cc``, ``lowest_node``,
   ``find_path_s2p``), connectivity, and the spanning forest must agree
-  across all three. Ops are *abstract* (indices modulo the alive set),
-  so any integer tuple list is a valid case — which is what lets the
-  hypothesis wrappers in ``tests/fuzz/`` shrink counterexamples.
+  (paths per structure backend; everything else globally). Ops are
+  *abstract* (indices modulo the alive set), so any integer tuple list
+  is a valid case — which is what lets the hypothesis wrappers in
+  ``tests/fuzz/`` shrink counterexamples.
 
 CLI (used by CI with a fixed seed and a ~30 s budget)::
 
@@ -52,7 +56,7 @@ from ..core.verify import explain_dfs_tree, tree_depths
 from ..graph.generators import FAMILIES, make_family
 from ..graph.graph import Graph
 from ..pram.tracker import Tracker
-from ..structures.absorb_ds import AbsorptionStructure
+from ..structures.absorb_ds import make_absorption_structure
 
 __all__ = [
     "FUZZ_FAMILIES",
@@ -72,6 +76,13 @@ FUZZ_FAMILIES = [
 ]
 
 _BACKENDS = ("tracked", "numpy")
+
+#: structure backends the op-sequence cases run in lockstep. Each pair
+#: (structure backend x kernel backend) must agree on every canonical
+#: query; find_path_s2p is compared *within* a structure backend (the RC
+#: and link-cut/flat mirrors answer path queries by different — equally
+#: valid — rules, see docs/kernels.md).
+_STRUCT_BACKENDS = ("rc", "flat")
 
 
 def _int_stats(stats: dict) -> dict:
@@ -255,32 +266,48 @@ def _resolve(op: tuple, model: NaiveAbsorptionModel, g: Graph):
 
 
 def _check_queries(
-    structs: dict[str, AbsorptionStructure],
+    structs: dict[tuple[str, str], object],
     model: NaiveAbsorptionModel,
     g: Graph,
 ) -> None:
     q_exp = model.find_cc()
-    for kb, s in structs.items():
+    for key, s in structs.items():
         got = s.find_cc()
-        assert got == q_exp, f"find_cc[{kb}]: {got} != {q_exp}"
+        assert got == q_exp, f"find_cc[{key}]: {got} != {q_exp}"
     if q_exp is not None:
         low_exp = model.lowest_node(q_exp)
         if low_exp is not None:
-            for kb, s in structs.items():
+            for key, s in structs.items():
                 got = s.lowest_node(q_exp)
-                assert got == low_exp, f"lowest_node[{kb}]: {got} != {low_exp}"
+                assert got == low_exp, f"lowest_node[{key}]: {got} != {low_exp}"
             v = low_exp[0]
-            paths = {kb: s.find_path_s2p(q_exp, v) for kb, s in structs.items()}
-            vals = list(paths.values())
-            assert all(p == vals[0] for p in vals), f"paths diverge: {paths}"
-            p = vals[0]
-            assert p[0] == v and p[-1] in model.q, f"bad path endpoints: {p}"
-            assert len(set(p)) == len(p), f"path repeats a vertex: {p}"
-            assert all(w not in model.q for w in p[:-1]), f"internal Q vertex: {p}"
+            paths = {
+                key: s.find_path_s2p(q_exp, v) for key, s in structs.items()
+            }
+            # byte-identity holds per structure backend: the two kernel
+            # backends of one structure must return the *same* path...
+            for sb in _STRUCT_BACKENDS:
+                group = {k: p for k, p in paths.items() if k[0] == sb}
+                vals = list(group.values())
+                assert all(p == vals[0] for p in vals), (
+                    f"paths diverge within {sb!r}: {group}"
+                )
+            # ...and every backend's path must satisfy the Lemma 5.1
+            # contract (different structures may pick different paths)
             edge_set = {(min(a, b), max(a, b)) for a, b in g.edges}
-            for a, b in zip(p, p[1:]):
-                assert (min(a, b), max(a, b)) in edge_set, f"non-edge in path: {p}"
-                assert a in model.alive and b in model.alive
+            for key, p in paths.items():
+                assert p[0] == v and p[-1] in model.q, (
+                    f"bad path endpoints[{key}]: {p}"
+                )
+                assert len(set(p)) == len(p), f"path repeats[{key}]: {p}"
+                assert all(w not in model.q for w in p[:-1]), (
+                    f"internal Q vertex[{key}]: {p}"
+                )
+                for a, b in zip(p, p[1:]):
+                    assert (min(a, b), max(a, b)) in edge_set, (
+                        f"non-edge in path[{key}]: {p}"
+                    )
+                    assert a in model.alive and b in model.alive
     # connectivity spot checks against the BFS model
     alive = sorted(model.alive)
     if len(alive) >= 2:
@@ -291,23 +318,26 @@ def _check_queries(
         ]
         for u, w in probes:
             exp = w in model.component(u)
-            for kb, s in structs.items():
+            for key, s in structs.items():
                 assert s.hdt.connected(u, w) == exp, (
-                    f"connected[{kb}]({u},{w}) != {exp}"
+                    f"connected[{key}]({u},{w}) != {exp}"
                 )
-    # the two backends must hold the *same* spanning forest
+    # every backend must hold the *same* (canonical) spanning forest
     forests = {
-        kb: sorted(s.hdt.spanning_forest_edges()) for kb, s in structs.items()
+        key: sorted(s.hdt.spanning_forest_edges())
+        for key, s in structs.items()
     }
-    vals = list(forests.values())
-    assert all(f == vals[0] for f in vals), f"forests diverge: {forests}"
+    fvals = list(forests.values())
+    assert all(f == fvals[0] for f in fvals), f"forests diverge: {forests}"
 
 
 def check_ops_case(g: Graph, ops: Sequence[tuple]) -> None:
-    """Apply one abstract op sequence to all backends + the naive model,
-    comparing every Lemma 5.1 query after every step."""
+    """Apply one abstract op sequence to all backend pairs + the naive
+    model, comparing every Lemma 5.1 query after every step."""
     structs = {
-        kb: AbsorptionStructure(g, kernel_backend=kb) for kb in _BACKENDS
+        (sb, kb): make_absorption_structure(g, backend=sb, kernel_backend=kb)
+        for sb in _STRUCT_BACKENDS
+        for kb in _BACKENDS
     }
     model = NaiveAbsorptionModel(g)
     _check_queries(structs, model, g)

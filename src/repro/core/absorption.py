@@ -43,7 +43,7 @@ from ..listrank.dllist import PathCollection
 from ..listrank.ranking import prefix_sums_on_lists
 from ..obs import runtime as obs
 from ..pram.tracker import Tracker, log2_ceil
-from ..structures.absorb_ds import AbsorptionStructure
+from ..structures.absorb_ds import AbsorptionStructure, make_absorption_structure
 
 __all__ = ["AbsorptionOutcome", "absorb_separator"]
 
@@ -55,7 +55,9 @@ class AbsorptionOutcome:
     #: absorbed vertices in *local* ids (including the root)
     absorbed_local: set[int]
     #: the Lemma 5.1 structure, still holding lowest-neighbor data for the
-    #: remaining components (the driver queries it to place recursion roots)
+    #: remaining components (the driver queries it to place recursion
+    #: roots); an AbsorptionStructure, or a FlatAbsorptionStructure when
+    #: backend="flat" runs under the numpy engine
     structure: AbsorptionStructure
     iterations: int = 0
 
@@ -92,8 +94,9 @@ def absorb_separator(
     DFS maps, written through ``to_global`` (identity if None). ``seeds``
     are inherited "(local v, global tree vertex, depth)" adjacency facts.
     The root's own global parent/depth entries must already be set.
-    ``backend`` picks the Lemma 5.1 structure ("rc" | "linkcut");
-    ``kernel_backend`` the execution engine for list ranking
+    ``backend`` picks the Lemma 5.1 structure ("rc" | "rc-det" | "lct" |
+    "flat", see :func:`~repro.structures.absorb_ds.
+    make_absorption_structure`); ``kernel_backend`` the execution engine
     ("tracked" | "numpy", :mod:`repro.kernels.dispatch`).
     """
     t = t if t is not None else Tracker()
@@ -101,7 +104,7 @@ def absorb_separator(
     if to_global is None:
         to_global = {v: v for v in range(g.n)}
 
-    ds = AbsorptionStructure(
+    ds = make_absorption_structure(
         g, tracker=t, backend=backend, global_of=to_global,
         kernel_backend=kernel_backend,
     )

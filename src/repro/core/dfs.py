@@ -62,7 +62,7 @@ def parallel_dfs(
     rng: random.Random | None = None,
     small_cutoff: int = 16,
     separator_factor: float = 4.0,
-    backend: str = "rc",
+    backend: str = "flat",
     neighbor_structure: str = "tournament",
     verify: bool = False,
     kernel_backend: str | None = None,
@@ -72,10 +72,13 @@ def parallel_dfs(
     Õ(m+n) work and Õ(√n) depth in the tracked cost model. The tree spans
     exactly the connected component of ``root``. With ``verify=True`` the
     result is checked against the DFS-tree oracle before returning.
-    ``backend`` picks the Lemma 5.1 absorption structure ("rc" |
-    "linkcut"); ``kernel_backend`` the execution engine for the
-    list-ranking/matching/scan subroutines ("tracked", the measurement
-    instrument, or "numpy", the vectorized kernels — see docs/kernels.md).
+    ``backend`` picks the Lemma 5.1 absorption structure — the default
+    "flat" pair is the array-native rebuild-per-batch structure under the
+    numpy engine with the link-cut-mirrored tracked structure as lockstep
+    reference; "rc" / "rc-det" / "lct" select the incremental mirrors —
+    and ``kernel_backend`` the execution engine ("tracked", the
+    measurement instrument, or "numpy", the vectorized kernels — see
+    docs/kernels.md).
     """
     t = tracker if tracker is not None else Tracker()
     rng = rng if rng is not None else random.Random(0xDF5)

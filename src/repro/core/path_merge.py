@@ -27,9 +27,10 @@ import random
 from dataclasses import dataclass, field
 
 from ..graph.graph import Graph
+from ..kernels.dispatch import get_kernel, resolve_backend
 from ..matching.luby import maximal_matching
 from ..pram.tracker import Tracker, log2_ceil
-from ..structures.adjacency_query import ActiveNeighborStructure
+from ..structures.adjacency_query import ActiveNeighborStructure  # noqa: F401
 from ..structures.naive_active import NaiveActiveNeighborStructure
 
 __all__ = ["MergeResult", "LongState", "merge_paths"]
@@ -74,6 +75,98 @@ class MergeResult:
     steps: int = 0
 
 
+def _contracted_arrays_np(
+    g: Graph,
+    on_short: dict[int, int],
+    contract_base: int,
+    n_short: int,
+):
+    """Vectorized G' construction — identical to the tracked edge loop.
+
+    Returns ``(big_n, eu, ev, indptr, dsts, eids, contact)``: the same
+    edge list as ``sorted(gp_edges)`` (same edge ids), the adjacency as
+    CSR arrays in exactly ``_add_edge``'s append order (edge-id order per
+    vertex), and the same ``contact`` map (first occurrence in edge order
+    wins, a-endpoint before b-endpoint within one edge — replicated with
+    a stable first-occurrence reduction).
+    """
+    import numpy as np
+
+    big_n = contract_base + n_short
+    csr = g.csr()
+    vmap = np.arange(big_n, dtype=np.int64)
+    if on_short:
+        # keys()/values() are aligned views; the scatter targets distinct
+        # indices so iteration order cannot reach the output
+        ks = np.fromiter(on_short.keys(), dtype=np.int64, count=len(on_short))  # repro-lint: disable=R002
+        sis = np.fromiter(on_short.values(), dtype=np.int64, count=len(on_short))  # repro-lint: disable=R002
+        vmap[ks] = contract_base + sis
+    a = vmap[csr.edge_u]
+    b = vmap[csr.edge_v]
+    keep = a != b
+    lo = np.minimum(a, b)[keep]
+    hi = np.maximum(a, b)[keep]
+    codes = np.unique(lo * big_n + hi)
+    eu = codes // big_n
+    ev = codes % big_n
+    mp = codes.size
+    # adjacency in edge-id order, exactly _add_edge's append order
+    src = np.concatenate([eu, ev])
+    dst = np.concatenate([ev, eu])
+    eid2 = np.concatenate([np.arange(mp), np.arange(mp)])
+    order = np.lexsort((eid2, src))
+    indptr = np.zeros(big_n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(src, minlength=big_n), out=indptr[1:])
+    dsts = dst[order]
+    eids = eid2[order]
+
+    # contact: (real endpoint, contracted id) -> concrete short vertex,
+    # first occurrence in (edge index, a-branch-then-b-branch) order
+    m = csr.edge_u.size
+    ckeys = np.full(2 * m, -1, dtype=np.int64)
+    cvals = np.empty(2 * m, dtype=np.int64)
+    mask_a = (a >= contract_base) & (a != b)
+    mask_b = (b >= contract_base) & (a != b)
+    ckeys[0::2][mask_a] = b[mask_a] * big_n + a[mask_a]
+    cvals[0::2][mask_a] = csr.edge_u[mask_a]
+    ckeys[1::2][mask_b] = a[mask_b] * big_n + b[mask_b]
+    cvals[1::2][mask_b] = csr.edge_v[mask_b]
+    valid = ckeys >= 0
+    ckeys = ckeys[valid]
+    cvals = cvals[valid]
+    uniq, first = np.unique(ckeys, return_index=True)
+    contact = dict(
+        zip(
+            zip((uniq // big_n).tolist(), (uniq % big_n).tolist()),
+            cvals[first].tolist(),
+        )
+    )
+    return big_n, eu, ev, indptr, dsts, eids, contact
+
+
+def _contracted_graph_np(
+    g: Graph,
+    on_short: dict[int, int],
+    contract_base: int,
+    n_short: int,
+) -> tuple[Graph, dict[tuple[int, int], int]]:
+    """G' as a :class:`Graph` — the array construction materialized into
+    adjacency lists (used when a non-flat neighbor structure needs a real
+    graph, e.g. the rescanning baseline under the numpy engine)."""
+    big_n, eu, ev, indptr, dsts, eids, contact = _contracted_arrays_np(
+        g, on_short, contract_base, n_short
+    )
+    edges = list(zip(eu.tolist(), ev.tolist()))
+    dl = dsts.tolist()
+    el = eids.tolist()
+    bounds = indptr.tolist()
+    # O(n' + m') list building, charged inside _contracted_arrays_np
+    adj = [dl[bounds[i] : bounds[i + 1]] for i in range(big_n)]  # repro-lint: disable=R001
+    adj_eids = [el[bounds[i] : bounds[i + 1]] for i in range(big_n)]  # repro-lint: disable=R001
+    gp = Graph.from_trusted_arrays(big_n, edges, adj, adj_eids)
+    return gp, contact
+
+
 def merge_paths(
     g: Graph,
     t: Tracker,
@@ -110,30 +203,59 @@ def merge_paths(
     # G' ids: 0..n-1 for real vertices (short members unused), then one id
     # per short path
     contract_base = n
-    gp_edges: set[tuple[int, int]] = set()
-    #: (real G' endpoint, contracted id) -> a concrete contact vertex on the short
-    contact: dict[tuple[int, int], int] = {}
-
-    def gp_id(v: int) -> int:
-        si = on_short.get(v)
-        return v if si is None else contract_base + si
-
+    gp_n = contract_base + len(short_paths)
+    kb = resolve_backend(backend)
     t.charge(g.m, log2_ceil(max(2, g.m)) + 1)
-    for u, v in g.edges:
-        a, b = gp_id(u), gp_id(v)
-        if a == b:
-            continue
-        key = (a, b) if a < b else (b, a)
-        gp_edges.add(key)
-        if a >= contract_base:
-            contact.setdefault((b, a), u)
-        if b >= contract_base:
-            contact.setdefault((a, b), v)
-    gp = Graph(contract_base + len(short_paths), sorted(gp_edges))
+    gp: Graph | None = None
+    gp_csr = None
+    if kb == "numpy" and g.m:
+        if neighbor_structure == "tournament":
+            # all-array path: keep G' as CSR arrays and build the flat
+            # neighbor structure straight from them — no intermediate
+            # Graph with Python adjacency lists
+            _, _, _, indptr, dsts, eids2, contact = _contracted_arrays_np(
+                g, on_short, contract_base, len(short_paths)
+            )
+            gp_csr = (indptr, dsts, eids2)
+        else:
+            gp, contact = _contracted_graph_np(
+                g, on_short, contract_base, len(short_paths)
+            )
+    else:
+        gp_edges: set[tuple[int, int]] = set()
+        # (real G' endpoint, contracted id) -> a concrete contact vertex
+        # on the short
+        contact = {}
+
+        def gp_id(v: int) -> int:
+            si = on_short.get(v)
+            return v if si is None else contract_base + si
+
+        for u, v in g.edges:
+            a, b = gp_id(u), gp_id(v)
+            if a == b:
+                continue
+            key = (a, b) if a < b else (b, a)
+            gp_edges.add(key)
+            if a >= contract_base:
+                contact.setdefault((b, a), u)
+            if b >= contract_base:
+                contact.setdefault((a, b), v)
+        gp = Graph(contract_base + len(short_paths), sorted(gp_edges))
     t.charge(0, log2_ceil(max(2, g.m)))  # dedup via parallel hashing
 
     if neighbor_structure == "tournament":
-        ans = ActiveNeighborStructure(gp, tracker=t)
+        # (operation, backend) dispatch: tournament trees under the
+        # tracked engine, the flat CSR twin under numpy — identical
+        # answers (see structures/flat_neighbors.py)
+        if gp_csr is not None:
+            from ..structures.flat_neighbors import FlatActiveNeighborStructure
+
+            ans = FlatActiveNeighborStructure.from_csr(
+                gp_n, gp_csr[0], gp_csr[1], gp_csr[2], tracker=t
+            )
+        else:
+            ans = get_kernel("neighbor_structure", kb)(gp, tracker=t)
     elif neighbor_structure == "naive":
         ans = NaiveActiveNeighborStructure(gp, tracker=t)
     else:
@@ -178,7 +300,7 @@ def merge_paths(
             ans.rebuild()
         unmatched = list(active)
         matched_pairs: list[tuple[int, int]] = []  # (long idx, G' vertex)
-        phases = log2_ceil(max(2, gp.n)) + 1
+        phases = log2_ceil(max(2, gp_n)) + 1
         for ph in range(phases + 1):
             if not unmatched:
                 break

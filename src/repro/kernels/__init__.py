@@ -32,7 +32,16 @@ from .dispatch import (
     set_default_backend,
     use_backend,
 )
-from . import scan, listrank, matching, euler, components, subgraph, absorb
+from . import (
+    scan,
+    listrank,
+    matching,
+    euler,
+    components,
+    subgraph,
+    absorb,
+    tour_flat,
+)
 
 __all__ = [
     "BACKENDS",
@@ -50,6 +59,7 @@ __all__ = [
     "components",
     "subgraph",
     "absorb",
+    "tour_flat",
 ]
 
 # numpy implementations of the operations the instrumented entry points
@@ -82,6 +92,8 @@ register_kernel("wyllie_ranks", "numpy", listrank.wyllie_ranks)
 register_kernel("anderson_miller_ranks", "numpy", listrank.anderson_miller_ranks)
 register_kernel("euler_tour_order", "numpy", euler.euler_tour_order)
 register_kernel("maximal_matching_raw", "numpy", matching.maximal_matching_graph)
+register_kernel("rebuild_rooted_forest", "numpy", tour_flat.rebuild_rooted_forest)
+register_kernel("component_min_packed", "numpy", tour_flat.component_min_packed)
 
 
 def _register_tracked() -> None:

@@ -92,18 +92,40 @@ def induced_subgraph_np(
     if k:
         varr = np.fromiter(vs, dtype=np.int64, count=k)
         pos[varr] = np.arange(k, dtype=np.int64)
+    if order == "vertex":
+        # output-sensitive: gather only the CSR rows of ``vertices``
+        # (O(k + sum deg), not O(m)) — the driver extracts every
+        # component of every level from the same parent graph, so a
+        # full-edge-list scan per call is quadratic over the recursion.
+        # Within a CSR block the role-u arcs (owner == edge_u < nbr)
+        # precede the role-v arcs and run in edge-id order, so keeping
+        # ``owner < nbr`` slots in (row, slot) order IS the tracked
+        # emission order: outer loop over ``vertices``, inner over
+        # ``adj`` restricted to canonical-min endpoints.
+        su = sv = np.empty(0, dtype=np.int64)
+        if k:
+            indptr = c.indptr
+            starts = indptr[varr]
+            counts = indptr[varr + 1] - starts
+            total = int(counts.sum())
+            if total:
+                base = np.repeat(starts, counts)
+                offs = np.arange(total, dtype=np.int64) - np.repeat(
+                    np.cumsum(counts) - counts, counts
+                )
+                owners = np.repeat(varr, counts)
+                dsts = c.indices[base + offs]
+                keep = (owners < dsts) & (pos[dsts] >= 0)
+                su = pos[owners[keep]]
+                sv = pos[dsts[keep]]
+        if t is not None:
+            t.charge(k + int(c.m), log2_ceil(max(2, k)) + 1)
+        return assemble_graph(k, su, sv), mapping
     pu = pos[c.edge_u]
     pv = pos[c.edge_v]
     keep = (pu >= 0) & (pv >= 0)
     su = pu[keep]
     sv = pv[keep]
-    if order == "vertex" and su.size:
-        # emission position of an edge in _induced is its canonical min
-        # endpoint's index in ``vertices``; edge_u < edge_v, so that is
-        # pu. Stable sort keeps edge-id order within one vertex.
-        perm = np.argsort(su, kind="stable")
-        su = su[perm]
-        sv = sv[perm]
     if t is not None:
         t.charge(k + int(c.m), log2_ceil(max(2, k)) + 1)
     return assemble_graph(k, su, sv), mapping

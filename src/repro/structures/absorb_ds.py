@@ -42,13 +42,13 @@ from heapq import heappop, heappush
 from typing import Iterable, Sequence
 
 from ..graph.graph import Graph
-from ..kernels.dispatch import resolve_backend
+from ..kernels.dispatch import get_kernel, register_kernel, resolve_backend
 from ..obs.runtime import metrics as _obs_metrics
 from ..pram.tracker import Tracker
 from .hdt import HDTConnectivity
 from .link_cut import LinkCutForest
 
-__all__ = ["AbsorptionStructure"]
+__all__ = ["AbsorptionStructure", "make_absorption_structure"]
 
 
 class AbsorptionStructure:
@@ -78,9 +78,14 @@ class AbsorptionStructure:
         self.hdt = HDTConnectivity(
             g, tracker=self.t, kernel_backend=self.kernel_backend
         )
-        if backend == "lct":
-            from .link_cut import LinkCutForest
-
+        if backend in ("lct", "flat"):
+            # "flat" selects the array-native rebuild-per-batch structure
+            # on the numpy backend (see make_absorption_structure); its
+            # tracked lockstep reference is this class with the link-cut
+            # mirror, whose first-flagged-on-path answers are a pure
+            # function of (forest, flags) — unlike the RC hierarchy, whose
+            # paths depend on cluster-id allocation history and therefore
+            # cannot be reproduced by a rebuilt representation.
             mirror = LinkCutForest(g.n, tracker=self.t)
         elif backend == "rc":
             from .rc_tree import RCForest
@@ -307,12 +312,82 @@ class AbsorptionStructure:
 
     # ------------------------------------------------------------------
     def check_invariants(self) -> None:
-        """Cross-check HDT forest vs mirror vs flags (test support)."""
-        forest = set(
+        """Cross-check HDT forest vs mirror vs flags (test support).
+
+        Diagnostics only — never runs on the tracked path, so the scans
+        below are outside Theorem 1.1's cost budget and uncharged."""
+        forest = set(  # repro-lint: disable=R001
             tuple(sorted(p)) for p in self.hdt.spanning_forest_edges()
         )
         mirror_edges = set(self.mirror.edge_set())
         assert forest == mirror_edges, "mirror out of sync with HDT forest"
-        for q in self.q_remaining:
+        for q in self.q_remaining:  # repro-lint: disable=R001
             assert q not in self.deleted
             assert self.mirror.get_flag(q)
+
+
+# ----------------------------------------------------------------------
+# (operation, backend) dispatch: the Lemma 5.1 structure itself
+# ----------------------------------------------------------------------
+
+def _absorb_structure_tracked(
+    g: Graph,
+    tracker: Tracker | None = None,
+    backend: str = "rc",
+    global_of: dict[int, int] | None = None,
+    kernel_backend: str | None = None,
+) -> AbsorptionStructure:
+    return AbsorptionStructure(
+        g, tracker=tracker, backend=backend, global_of=global_of,
+        kernel_backend=kernel_backend,
+    )
+
+
+def _absorb_structure_numpy(
+    g: Graph,
+    tracker: Tracker | None = None,
+    backend: str = "rc",
+    global_of: dict[int, int] | None = None,
+    kernel_backend: str | None = None,
+):
+    if backend == "flat":
+        from .flat_absorb import FlatAbsorptionStructure
+
+        return FlatAbsorptionStructure(
+            g, tracker=tracker, global_of=global_of,
+            kernel_backend=kernel_backend,
+        )
+    # rc/rc-det/lct keep the splay/RC structure under numpy (legacy path:
+    # bulk init + vectorized witness reduction, incremental maintenance)
+    return AbsorptionStructure(
+        g, tracker=tracker, backend=backend, global_of=global_of,
+        kernel_backend=kernel_backend,
+    )
+
+
+register_kernel("absorb_structure", "tracked", _absorb_structure_tracked)
+register_kernel("absorb_structure", "numpy", _absorb_structure_numpy)
+
+
+def make_absorption_structure(
+    g: Graph,
+    tracker: Tracker | None = None,
+    backend: str = "rc",
+    global_of: dict[int, int] | None = None,
+    kernel_backend: str | None = None,
+):
+    """The Lemma 5.1 structure for (``backend``, ``kernel_backend``).
+
+    ``backend`` names the *structure*: "rc" / "rc-det" / "lct" pick the
+    mirror of :class:`AbsorptionStructure`; "flat" is the array-native
+    rebuild-per-batch pair — :class:`AbsorptionStructure` with the
+    link-cut mirror under the tracked engine (the lockstep reference) and
+    :class:`~repro.structures.flat_absorb.FlatAbsorptionStructure` under
+    numpy. Both halves of every pair return byte-identical answers
+    (differential fuzz gate)."""
+    kb = resolve_backend(kernel_backend)
+    factory = get_kernel("absorb_structure", kb)
+    return factory(
+        g, tracker=tracker, backend=backend, global_of=global_of,
+        kernel_backend=kb,
+    )

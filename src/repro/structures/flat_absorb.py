@@ -1,0 +1,789 @@
+"""Array-native Lemma 5.1 structure: flat batch Euler-tour forest.
+
+The tracked :class:`~repro.structures.absorb_ds.AbsorptionStructure`
+maintains its forest augmentations (separator flags, lowest-neighbor
+min-keys, nontree counts) inside splay-backed Euler-tour trees plus a
+path-query mirror, paying O(log n) pointer chases *per rotation*. Under
+the numpy backend that constant dominates end-to-end wall clock (E17/E18:
+~95% of time in absorb + separator under both backends).
+
+This module is the numpy-backend replacement, following the paper's own
+Section 6.2 licence to *recompute the augmentations per batch* instead of
+maintaining them per rotation:
+
+* the level-0 spanning forest lives in flat numpy arrays — ``parent``
+  (a rooted orientation, roots arbitrary) and ``label`` (min-id component
+  representative). The initial build is one vectorized [TV85]+Wyllie pass
+  (:func:`repro.kernels.tour_flat.rebuild_rooted_forest`); after that the
+  orientation is maintained *surgically*: a cut resets the child's
+  pointer in O(1), a replacement link re-roots the shallower side by one
+  path reversal — tree paths are root-independent, so the canonical
+  answers never see the rooting;
+* labels, the label -> members map, and the lowest-neighbor argmin cache
+  (packed int64 keys, :func:`repro.kernels.tour_flat.component_min_packed`)
+  are re-canonicalized once per ``batch_delete`` by a constant number of
+  vectorized passes over the affected components (mask, relabel scatter,
+  ``np.minimum.at``) — no pointer-doubling rounds on the hot path;
+* ``find_path_s2p`` is depth-free: two walkers climb the parent pointers
+  alternately, marking their trails; the first trail collision is the
+  LCA, so the walk costs O(|path|) pointer steps — not O(tree depth) —
+  replacing the mirror's splay descent;
+* the HDT level structure (:class:`FlatForest`) keeps per-level adjacency
+  dicts and nontree sets and runs the replacement search with plain BFS —
+  the small side is found by *alternating* bidirectional BFS (cost
+  O(2 |small|), matching the tracked structure's O(|small|) sweep).
+
+Byte-identical contract (PR 3 canonicalization, gated by the differential
+fuzz harness): min-id ``find_cc``, lex argmin ``lowest_node``,
+(depth, vertex) lex-max witnesses, sorted replacement scans, and the
+first-flagged-on-tree-path ``find_path_s2p`` rule — the same answers as
+``AbsorptionStructure(backend="flat")``, whose tracked mirror is the splay
+link-cut forest (``path_prefix_to_first_flagged``).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from heapq import heappop, heappush
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..graph.graph import Graph
+from ..graph.connectivity import spanning_forest
+from ..kernels.dispatch import resolve_backend
+from ..kernels.tour_flat import (
+    NO_KEY,
+    component_min_packed,
+    rebuild_rooted_forest,
+)
+from ..obs import runtime as obs
+from ..pram.tracker import Tracker
+from .hdt import ForestChange
+
+__all__ = ["FlatForest", "FlatAbsorptionStructure"]
+
+
+class FlatForest:
+    """Batch HDT connectivity over flat arrays (numpy execution engine).
+
+    Maintains the same level scheme as :class:`~repro.structures.hdt.
+    HDTConnectivity` — levels, promotions, sorted replacement scans — and
+    emits the identical :class:`ForestChange` sequence for any deletion
+    batch, but represents the level-0 forest as ``parent``/``label``
+    arrays (surgical cut/link updates plus one vectorized relabel pass
+    per batch) instead of splayed Euler tours.
+    """
+
+    def __init__(
+        self,
+        g: Graph,
+        tracker: Tracker | None = None,
+        kernel_backend: str | None = None,
+    ) -> None:
+        self.t = tracker if tracker is not None else Tracker()
+        self.n = g.n
+        self.L = max(1, (max(2, g.n) - 1).bit_length())
+        self.kernel_backend = resolve_backend(kernel_backend)
+        self.endpoints: list[tuple[int, int]] = list(g.edges)
+        self.alive: list[bool] = [True] * g.m
+        self.level: list[int] = [0] * g.m
+        self.is_tree: list[bool] = [False] * g.m
+        #: per level, per vertex: ids of live non-tree edges of that level
+        #: (level 0 dense, higher levels lazy — only promoted vertices
+        #: ever materialize entries)
+        self.nontree: list = [[set() for _ in range(g.n)]]
+        #: per level, per vertex: {neighbor: eid} over tree edges of
+        #: level >= i (the F_i adjacency; level 0 is *the* forest)
+        self.tadj: list = [[{} for _ in range(g.n)]]
+        #: live incident edge ids per vertex (for vertex deletion)
+        self.incident: list[set[int]] = [set(eids) for eids in g.adj_eids]
+        self._pair_to_eid: dict[tuple[int, int], int] = {}
+        # rooted-forest arrays: parent is maintained surgically (cut =
+        # O(1) child reset, link = one path reversal); label is
+        # re-canonicalized per batch by _finalize_batch
+        self.parent = np.full(g.n, -1, dtype=np.int64)
+        self.label = np.arange(g.n, dtype=np.int64)
+        # packed lowest-neighbor keys + per-component min cache
+        self.keys = np.full(g.n, NO_KEY, dtype=np.int64)
+        self._comp_min: dict[int, int] = {}
+        #: label -> sorted member vertex array; lets the per-batch
+        #: finalize pass gather affected components without O(n) scans
+        self._members: dict[int, np.ndarray] = {}
+        #: (temporary token, sorted members) of each unrepaired split of
+        #: the in-flight batch, consumed by _finalize_batch
+        self._pieces: list[tuple[int, np.ndarray]] = []
+        # observability: finalize passes/sizes replace rotation counts
+        self._c_promote = obs.metrics().counter("hdt.promotions")
+        self._h_scan = obs.metrics().histogram("hdt.replacement_scan")
+        self._c_rebuild = obs.metrics().counter("flat.rebuilds")
+        self._h_rebuild = obs.metrics().histogram("flat.rebuild_vertices")
+
+        t = self.t
+        _, forest = spanning_forest(g, t, backend=self.kernel_backend)
+        for eid in forest:
+            u, v = self.endpoints[eid]
+            self.is_tree[eid] = True
+            self._pair_to_eid[(u, v)] = eid
+            self.tadj[0][u][v] = eid
+            self.tadj[0][v][u] = eid
+        nontree0 = self.nontree[0]
+        for eid in range(g.m):
+            if self.is_tree[eid]:
+                continue
+            u, v = self.endpoints[eid]
+            nontree0[u].add(eid)
+            nontree0[v].add(eid)
+        # initial full build: parent orientation + canonical min-id labels
+        # in one vectorized [TV85]+Wyllie pass (depth is scratch — path
+        # queries are depth-free, see find_path_s2p)
+        eu = np.fromiter(
+            (self.endpoints[e][0] for e in forest),
+            dtype=np.int64, count=len(forest),
+        )
+        ev = np.fromiter(
+            (self.endpoints[e][1] for e in forest),
+            dtype=np.int64, count=len(forest),
+        )
+        members = np.arange(g.n, dtype=np.int64)
+        rebuild_rooted_forest(
+            self.parent, np.zeros(g.n, dtype=np.int64), self.label,
+            members, eu, ev, t,
+        )
+        self._c_rebuild.value += 1
+        self._h_rebuild.observe(g.n)
+        self._regroup_members(members)
+        lg = (max(2, g.n) - 1).bit_length() + 1
+        t.charge(g.m + g.n, lg)
+
+    # ------------------------------------------------------------------
+    # per-batch finalize core
+    # ------------------------------------------------------------------
+    def _regroup_members(self, members: np.ndarray) -> None:
+        """Refresh the label -> members map for ``members`` (a sorted
+        vertex array whose ``label`` entries are current)."""
+        if members.size == 0:
+            return
+        labs = self.label[members]
+        order = np.argsort(labs, kind="stable")
+        sorted_labs = labs[order]
+        starts = np.flatnonzero(
+            np.diff(sorted_labs, prepend=sorted_labs[0] - 1)
+        ).tolist() + [int(members.size)]
+        grouped = members[order]
+        # O(#components) dict updates; callers charge the full
+        # |members| pass that produced the grouping
+        for gi in range(len(starts) - 1):  # repro-lint: disable=R001
+            lo, hi = starts[gi], starts[gi + 1]
+            self._members[int(sorted_labs[lo])] = grouped[lo:hi]
+
+    def _finalize_batch(
+        self, affected: list[int], pieces: list[tuple[int, np.ndarray]]
+    ) -> None:
+        """Re-canonicalize labels/members/min-cache after a deletion batch.
+
+        ``affected`` holds the pre-batch labels of every component that
+        lost a tree edge; ``pieces`` the (temporary token, sorted members)
+        of every split the HDT search could not repair. Each surviving
+        piece is relabeled to its min member id and its key aggregate is
+        recomputed — a constant number of vectorized passes over the
+        affected components, with no pointer-doubling rounds."""
+        label = self.label
+        entries: list[tuple[int, np.ndarray]] = []
+        for lab in sorted(affected):
+            arr = self._members.pop(lab, None)
+            if arr is None:  # defensively: an untracked singleton
+                arr = np.array([lab], dtype=np.int64)
+            entries.append((lab, arr))
+            self._comp_min.pop(lab, None)
+        entries.extend(pieces)
+        total = 0
+        for claim, arr in entries:
+            # current label is the piece's token (or the surviving old
+            # label), so the mask splits the pre-batch array exactly
+            mem = arr[label[arr] == claim]
+            total += int(arr.size)
+            if not mem.size:
+                continue
+            mn = int(mem[0])
+            if mn != claim:
+                label[mem] = mn
+            self._members[mn] = mem
+            self._comp_min.pop(mn, None)
+            # single-component form of component_min_packed: every member
+            # now carries label mn, so the per-label grouping is trivial
+            sel = self.keys[mem]
+            sel = sel[sel != NO_KEY]
+            if sel.size:
+                self._comp_min[mn] = int(sel.min())
+        self._c_rebuild.value += 1
+        self._h_rebuild.observe(total)
+        # relabel + regroup + re-aggregate: O(affected) work, polylog span
+        self.t.charge(total + len(entries), 8)
+
+    # ------------------------------------------------------------------
+    # queries (level-0 forest)
+    # ------------------------------------------------------------------
+    def connected(self, u: int, v: int) -> bool:
+        return u == v or self.label[u] == self.label[v]
+
+    def component_rep(self, v: int) -> int:
+        return int(self.label[v])
+
+    def spanning_forest_edges(self) -> list[tuple[int, int]]:
+        """Current level-0 forest edges as sorted (u, v) pairs."""
+        return sorted(self._pair_to_eid)
+
+    def edge_alive(self, eid: int) -> bool:
+        return self.alive[eid]
+
+    # ------------------------------------------------------------------
+    # lowest-neighbor key aggregate
+    # ------------------------------------------------------------------
+    def set_vertex_key(self, v: int, key: int | None) -> None:
+        """Set/clear v's lowest-neighbor key (key = -depth, lex argmin)."""
+        packed = NO_KEY if key is None else np.int64(key) * self.n + v
+        old = self.keys[v]
+        if packed == old:
+            return
+        self.keys[v] = packed
+        lab = int(self.label[v])
+        cur = self._comp_min.get(lab)
+        if packed < (NO_KEY if cur is None else cur):
+            self._comp_min[lab] = int(packed)
+            return
+        if cur is not None and old == cur:
+            # the previous minimum went away (or grew): recompute.  In the
+            # absorption driver this only happens when retiring a deleted
+            # vertex, whose component is a post-rebuild singleton — O(1).
+            if lab == v and self.parent[v] == -1 and not self.tadj[0][v]:
+                if packed == NO_KEY:
+                    self._comp_min.pop(lab, None)
+                else:
+                    self._comp_min[lab] = int(packed)
+                return
+            sel = self._members.get(lab)
+            if sel is None:
+                sel = np.flatnonzero(self.label == lab)
+            self._comp_min.pop(lab, None)
+            self._comp_min.update(
+                component_min_packed(self.label, self.keys, sel)
+            )
+
+    def component_min_key(self, v: int) -> tuple[int, int] | None:
+        """Lex-min ``(key, vertex)`` in v's component, or None."""
+        packed = self._comp_min.get(int(self.label[v]))
+        if packed is None:
+            return None
+        return int(packed) // self.n, int(packed) % self.n
+
+    # ------------------------------------------------------------------
+    # deletion
+    # ------------------------------------------------------------------
+    def batch_delete(self, eids: Sequence[int]) -> list[ForestChange]:
+        """Delete a batch of edges; returns the level-0 forest changes.
+
+        Emits the identical canonical ForestChange sequence as the tracked
+        :class:`HDTConnectivity`: tree deletions grouped by pre-batch
+        component representative, groups in sorted-rep order, edges within
+        a group in input (ascending eid) order, replacement scans sorted.
+        """
+        with obs.span("hdt.batch_delete", batch=len(eids)):
+            return self._batch_delete(eids)
+
+    def _batch_delete(self, eids: Sequence[int]) -> list[ForestChange]:
+        changes: list[ForestChange] = []
+        tree_eids: list[int] = []
+        for eid in eids:
+            if not self.alive[eid]:
+                raise ValueError(f"edge {eid} already deleted")
+            self.alive[eid] = False
+            u, v = self.endpoints[eid]
+            self.incident[u].discard(eid)
+            self.incident[v].discard(eid)
+            if self.is_tree[eid]:
+                tree_eids.append(eid)
+            else:
+                lvl = self.level[eid]
+                self.nontree[lvl][u].discard(eid)
+                self.nontree[lvl][v].discard(eid)
+        if not tree_eids:
+            return changes
+        groups: dict[int, list[int]] = {}
+        for eid in tree_eids:
+            rep = int(self.label[self.endpoints[eid][0]])
+            groups.setdefault(rep, []).append(eid)
+        self._pieces = []
+        for rep in sorted(groups):
+            for eid in groups[rep]:
+                changes.extend(self._delete_tree_edge(eid))
+        # re-canonicalize every touched component: replacement links never
+        # leave the pre-batch component, so the pre-batch labels of the
+        # deleted tree edges (the group keys) plus the recorded split
+        # pieces cover every vertex whose label may have changed.
+        self._finalize_batch(sorted(groups), self._pieces)
+        self._pieces = []
+        self.t.charge(len(eids), 8)
+        return changes
+
+    def _delete_tree_edge(self, eid: int) -> list[ForestChange]:
+        u, v = self.endpoints[eid]
+        lvl = self.level[eid]
+        self.is_tree[eid] = False
+        del self._pair_to_eid[(u, v)]
+        changes = [ForestChange("cut", u, v)]
+        self.t.charge(lvl + 1, 1)
+        for i in range(lvl + 1):
+            del self.tadj[i][u][v]
+            del self.tadj[i][v][u]
+        # O(1) parent surgery: the child side keeps its whole subtree
+        # orientation and just becomes a root
+        parent = self.parent
+        if parent[v] == u:
+            parent[v] = -1
+        else:
+            assert parent[u] == v, "cut edge not parent-linked"
+            parent[u] = -1
+
+        for i in range(lvl, -1, -1):
+            small, small_set = self._small_side(i, u, v)
+            arcs2, marked = self._component_collect(i, small_set)
+            self._grow(i + 1)
+
+            # 1) promote the small side's level-i tree edges to i+1
+            self._c_promote.value += len(arcs2)
+            self.t.charge(len(arcs2) + 1, 1)
+            for key in sorted(arcs2):
+                a, b = key
+                f = self._pair_to_eid[key]
+                self.level[f] = i + 1
+                self.tadj[i + 1][a][b] = f
+                self.tadj[i + 1][b][a] = f
+
+            # 2) scan level-i non-tree edges in ascending eid order
+            cand: set[int] = set()
+            for x in marked:
+                cand.update(self.nontree[i][x])
+            replacement = None
+            scanned = 0
+            for f in sorted(cand):
+                scanned += 1
+                a, b = self.endpoints[f]
+                self.nontree[i][a].discard(f)
+                self.nontree[i][b].discard(f)
+                if a in small_set and b in small_set:
+                    self._c_promote.value += 1
+                    self.level[f] = i + 1
+                    self.nontree[i + 1][a].add(f)
+                    self.nontree[i + 1][b].add(f)
+                else:
+                    replacement = f
+                    break
+            self._h_scan.observe(scanned)
+            self.t.charge(len(cand) + scanned + 1, 1)
+
+            if replacement is not None:
+                a, b = self.endpoints[replacement]
+                self.is_tree[replacement] = True
+                self.level[replacement] = i
+                self._pair_to_eid[(a, b)] = replacement
+                for j in range(i + 1):
+                    self.tadj[j][a][b] = replacement
+                    self.tadj[j][b][a] = replacement
+                self._link_parents(a, b)
+                changes.append(ForestChange("link", a, b))
+                return changes
+
+        # the component split for good: stamp the level-0 small side with
+        # a unique temporary token; _finalize_batch turns tokens into
+        # canonical min-id labels in one vectorized pass
+        token = -(len(self._pieces) + 1)
+        arr = np.sort(
+            np.fromiter(small_set, dtype=np.int64, count=len(small_set))
+        )
+        self.label[arr] = token
+        self._pieces.append((token, arr))
+        return changes
+
+    def _link_parents(self, a: int, b: int) -> None:
+        """Join two trees with the edge (a, b): re-root the endpoint whose
+        root is nearer (path reversal), then hang it off the other side.
+
+        The walk alternates (a first, ties to a), so it costs O(min root
+        distance) pointer steps; the rooting is internal — tree paths are
+        root-independent — so any deterministic choice is canonical."""
+        parent = self.parent
+        pa = [a]
+        pb = [b]
+        while True:
+            nxt = int(parent[pa[-1]])
+            if nxt == -1:
+                chain, anchor = pa, b
+                break
+            pa.append(nxt)
+            nxt = int(parent[pb[-1]])
+            if nxt == -1:
+                chain, anchor = pb, a
+                break
+            pb.append(nxt)
+        for i in range(len(chain) - 1, 0, -1):
+            parent[chain[i]] = chain[i - 1]
+        parent[chain[0]] = anchor
+        self.t.charge(len(pa) + len(pb), 8)
+
+    def _grow(self, i: int) -> None:
+        while len(self.tadj) <= i:
+            # lazy level: only vertices actually promoted to this level
+            # ever materialize a slot (O(1) alloc, not O(n))
+            self.t.charge(1, 1)
+            self.tadj.append(defaultdict(dict))
+            self.nontree.append(defaultdict(set))
+
+    def _bfs(self, i: int, start: int) -> Iterator[int]:
+        """Vertices of start's F_i component, one per ``next`` call.
+
+        Generator building block; consumers (``_small_side``,
+        ``_component_collect``) charge the traversal cost in aggregate."""
+        seen = {start}
+        queue = deque([start])
+        while queue:  # repro-lint: disable=R001 (charged by consumers)
+            x = queue.popleft()
+            yield x
+            for nbr in self.tadj[i][x]:  # repro-lint: disable=R001
+                if nbr not in seen:
+                    seen.add(nbr)
+                    queue.append(nbr)
+
+    def _small_side(self, i: int, u: int, v: int) -> tuple[int, set[int]]:
+        """The endpoint on the smaller F_i side after the cut, plus that
+        side's full vertex set.
+
+        Alternating bidirectional BFS, u advancing first: the first side
+        to exhaust is the smaller one, ties going to u — exactly the
+        tracked structure's ``u if size(u) <= size(v) else v`` rule at
+        O(2 |small|) cost instead of two full component sweeps. The
+        winner's queue is empty, so its ``seen`` set *is* the component —
+        no second traversal needed.
+        """
+        tadj_i = self.tadj[i]
+        # singleton fast path: an isolated endpoint is a size-1 side and
+        # size 1 wins every comparison (ties prefer u, checked first)
+        if not tadj_i[u]:
+            self.t.charge(2, 8)
+            return u, {u}
+        if not tadj_i[v]:
+            self.t.charge(2, 8)
+            return v, {v}
+        # lists with read cursors instead of deques: this is the hottest
+        # loop in the structure (one call per level per deleted tree
+        # edge) and the flat list walk shaves the per-step constant
+        qu: list[int] = [u]
+        su = {u}
+        iu = 0
+        qv: list[int] = [v]
+        sv = {v}
+        iv = 0
+        while True:
+            if iu == len(qu):
+                self.t.charge(2 * (iu + iv), 8)
+                return u, su
+            x = qu[iu]
+            iu += 1
+            for nbr in tadj_i[x]:
+                if nbr not in su:
+                    su.add(nbr)
+                    qu.append(nbr)
+            if iv == len(qv):
+                self.t.charge(2 * (iu + iv), 8)
+                return v, sv
+            x = qv[iv]
+            iv += 1
+            for nbr in tadj_i[x]:
+                if nbr not in sv:
+                    sv.add(nbr)
+                    qv.append(nbr)
+
+    def _component_collect(
+        self, i: int, comp: set[int]
+    ) -> tuple[list[tuple[int, int]], list[int]]:
+        """Over the known F_i component ``comp``: (exactly-level-i tree
+        edges as (min,max) pairs, vertices holding level-i non-tree
+        edges). One flat scan — no BFS, ``comp`` comes from the
+        ``_small_side`` traversal."""
+        tadj_i = self.tadj[i]
+        nontree_i = self.nontree[i]
+        level = self.level
+        arcs2: list[tuple[int, int]] = []
+        marked: list[int] = []
+        arc = arcs2.append
+        mark = marked.append
+        work = 0
+        # set/dict order never reaches an output: arcs2 is sorted before
+        # the promotion loop, marked only feeds a set union whose scan is
+        # sorted
+        for x in comp:  # repro-lint: disable=R002
+            if nontree_i[x]:
+                mark(x)
+            for nbr, f in tadj_i[x].items():  # repro-lint: disable=R002
+                work += 1
+                if x < nbr and level[f] == i:
+                    arc((x, nbr))
+        self.t.charge(len(comp) + work, 8)
+        return arcs2, marked
+
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Validate level + array invariants (test support; O(n m)).
+
+        Diagnostics only — outside Theorem 1.1's cost budget, so the
+        scans below are deliberately uncharged."""
+        for eid, (u, v) in enumerate(self.endpoints):  # repro-lint: disable=R001
+            if not self.alive[eid]:
+                continue
+            lvl = self.level[eid]
+            assert 0 <= lvl <= self.L + 1
+            if self.is_tree[eid]:
+                for i in range(lvl + 1):  # repro-lint: disable=R001
+                    assert self.tadj[i][u].get(v) == eid
+                    assert self.tadj[i][v].get(u) == eid
+            else:
+                assert eid in self.nontree[lvl][u]
+                assert eid in self.nontree[lvl][v]
+        # parent/label arrays and the members map agree with the level-0
+        # adjacency: one root per component, parent edges are tree edges,
+        # labels are canonical min-ids, member arrays sorted and complete
+        seen: set[int] = set()
+        for s in range(self.n):  # repro-lint: disable=R001
+            if s in seen:
+                continue
+            comp = list(self._bfs(0, s))
+            seen.update(comp)
+            lab = min(comp)
+            roots = [x for x in comp if self.parent[x] == -1]  # repro-lint: disable=R001
+            assert len(roots) == 1, f"component of {s}: roots {roots}"
+            for x in comp:  # repro-lint: disable=R001
+                assert self.label[x] == lab, "label out of sync"
+                p = int(self.parent[x])
+                assert p == -1 or p in self.tadj[0][x], "parent not a tree edge"
+            mem = self._members.get(lab)
+            assert mem is not None and mem.tolist() == sorted(comp), (
+                "member map out of sync"
+            )
+        # every parent chain reaches its root without cycling
+        for v in range(self.n):  # repro-lint: disable=R001
+            x, steps = v, 0
+            while self.parent[x] != -1:  # repro-lint: disable=R001
+                x = int(self.parent[x])
+                steps += 1
+                assert steps <= self.n, "parent cycle"
+        # component minima agree with a fresh scan
+        fresh = component_min_packed(
+            self.label, self.keys, np.arange(self.n, dtype=np.int64)
+        )
+        assert fresh == self._comp_min, "component-min cache out of sync"
+
+
+class FlatAbsorptionStructure:
+    """Lemma 5.1 structure over flat arrays — numpy twin of
+    :class:`~repro.structures.absorb_ds.AbsorptionStructure` with
+    ``backend="flat"`` (whose tracked mirror is the link-cut forest).
+
+    Same four operations, same canonical answers (min-id ``find_cc``, lex
+    argmin ``lowest_node``, first-flagged-on-tree-path ``find_path_s2p``,
+    (depth, vertex) lex-max witness updates in ``batch_delete``); no
+    mirror structure — path queries walk the ``parent`` array of the
+    :class:`FlatForest` directly (depth-free alternating LCA walk).
+    """
+
+    backend = "flat"
+
+    def __init__(
+        self,
+        g: Graph,
+        tracker: Tracker | None = None,
+        global_of: dict[int, int] | None = None,
+        kernel_backend: str | None = None,
+    ) -> None:
+        self.t = tracker if tracker is not None else Tracker()
+        self.g = g
+        self.kernel_backend = resolve_backend(kernel_backend)
+        self.global_of = global_of
+        self.hdt = FlatForest(
+            g, tracker=self.t, kernel_backend=self.kernel_backend
+        )
+        self.q_remaining: set[int] = set()
+        self._q_heap: list[int] = []
+        self.low_witness: dict[int, tuple[int, int]] = {}
+        self.deleted: set[int] = set()
+        self._c_bd = obs.metrics().counter("absorb.batch_deletes")
+        self._h_bd_edges = obs.metrics().histogram("absorb.batch_delete_edges")
+
+    # ------------------------------------------------------------------
+    # setup / incremental facts
+    # ------------------------------------------------------------------
+    def set_separator(self, vertices: Iterable[int]) -> None:
+        """Flag the given vertices as separator (Q) vertices."""
+        for v in vertices:
+            if v in self.deleted:
+                raise ValueError(f"vertex {v} already absorbed")
+            if v not in self.q_remaining:
+                self.q_remaining.add(v)
+                heappush(self._q_heap, v)
+        self.t.op(1)
+
+    def unset_separator(self, vertices: Iterable[int]) -> None:
+        """Remove the separator flag (used when reduction discards paths)."""
+        for v in vertices:
+            self.q_remaining.discard(v)
+        self.t.op(1)
+
+    def set_tree_neighbor(self, v: int, tree_vertex: int, depth: int) -> None:
+        """Record that v (in H) is adjacent to T'-vertex ``tree_vertex`` at
+        ``depth``; keeps only the deepest witness (lex-max, PR 3 rule)."""
+        self.t.op(1)
+        if v in self.deleted:
+            return
+        cur = self.low_witness.get(v)
+        if cur is None or depth > cur[0]:
+            self.low_witness[v] = (depth, tree_vertex)
+            self.hdt.set_vertex_key(v, -depth)
+
+    # ------------------------------------------------------------------
+    # Lemma 5.1 operations
+    # ------------------------------------------------------------------
+    def find_cc(self) -> int | None:
+        """Minimum-id remaining separator vertex, or None (*Success*)."""
+        self.t.op(1)
+        if not self.q_remaining:
+            return None
+        heap = self._q_heap
+        while heap[0] not in self.q_remaining:
+            heappop(heap)
+        return heap[0]
+
+    def lowest_node(self, q: int) -> tuple[int, int, int]:
+        """In q's component: ``(v, x, depth_x)`` with x the component's
+        deepest adjacent T'-vertex (lex argmin on negated depth)."""
+        self.t.op(1)
+        hit = self.hdt.component_min_key(q)
+        if hit is None:
+            raise RuntimeError(
+                f"component of {q} has no vertex adjacent to T' "
+                "(driver invariant violated)"
+            )
+        neg_depth, v = hit
+        d2, x = self.low_witness[v]
+        assert d2 == -neg_depth
+        return v, x, d2
+
+    def find_path_s2p(self, q: int, v: int) -> list[int]:
+        """Tree path from ``v`` toward ``q``, truncated at (and including)
+        the first separator vertex — the same first-flagged-on-path rule
+        as the link-cut mirror's ``path_prefix_to_first_flagged``.
+
+        Depth-free: two walkers climb the parent pointers alternately,
+        marking their trails; the first trail collision is the LCA, so
+        the walk costs O(|path|) pointer steps, not O(tree depth)."""
+        self.t.op(1)
+        hdt = self.hdt
+        if not hdt.connected(v, q):
+            raise ValueError(f"{v} and {q} are in different trees")
+        parent = hdt.parent
+        if v == q:
+            path = [v]
+        else:
+            pv, pq = [v], [q]
+            iv, iq = {v: 0}, {q: 0}
+            path = None
+            while path is None:
+                x = int(parent[pv[-1]])
+                if x >= 0:
+                    j = iq.get(x)
+                    if j is not None:
+                        path = pv + [x] + pq[:j][::-1]
+                        continue
+                    iv[x] = len(pv)
+                    pv.append(x)
+                y = int(parent[pq[-1]])
+                if y >= 0:
+                    i = iv.get(y)
+                    if i is not None:
+                        path = pv[: i + 1] + pq[::-1]
+                        continue
+                    iq[y] = len(pq)
+                    pq.append(y)
+                elif x < 0:
+                    raise RuntimeError(
+                        f"{v} and {q} are in different trees "
+                        "(labels out of sync)"
+                    )
+            self.t.charge(len(pv) + len(pq), 8)
+        flagged = self.q_remaining
+        for i, x in enumerate(path):
+            if x in flagged:
+                self.t.charge(i + 1, (i + 1).bit_length())
+                return path[: i + 1]
+        raise RuntimeError(
+            f"no separator vertex on the tree path {v}..{q} "
+            "(but {q} is flagged — structure out of sync)"
+        )
+
+    def batch_delete(self, deleted: Sequence[tuple[int, int]]) -> None:
+        """Delete absorbed vertices from H (same contract and canonical
+        witness reduction as the tracked structure's ``batch_delete``)."""
+        from ..kernels.absorb import witness_lexmax_np
+
+        dead = [v for v, _ in deleted]
+        dead_set = set(dead)
+
+        # 1) snapshot surviving H-neighbors ((depth, vertex) lex-max)
+        trip_nb: list[int] = []
+        trip_d: list[int] = []
+        trip_v: list[int] = []
+        for v, d in deleted:
+            if v in self.deleted:
+                raise ValueError(f"vertex {v} deleted twice")
+            for eid in self.hdt.incident[v]:
+                u, w = self.hdt.endpoints[eid]
+                nb = w if u == v else u
+                if nb not in dead_set:
+                    trip_nb.append(nb)
+                    trip_d.append(d)
+                    trip_v.append(v)
+        neighbor_updates = witness_lexmax_np(self.g.n, trip_nb, trip_d, trip_v)
+
+        # 2) delete all incident edges in one HDT batch (rebuild inside)
+        eids: set[int] = set()
+        gathered = 0
+        for v in dead:
+            gathered += len(self.hdt.incident[v])
+            eids.update(self.hdt.incident[v])
+        self.t.charge(len(dead) + gathered, 8)
+        self._c_bd.value += 1
+        self._h_bd_edges.observe(gathered)
+        self.hdt.batch_delete(sorted(eids))
+
+        # 3) retire the dead vertices
+        for v in dead:
+            self.deleted.add(v)
+            self.q_remaining.discard(v)
+            self.hdt.set_vertex_key(v, None)
+            self.low_witness.pop(v, None)
+
+        # 4) surviving neighbors learn their new lowest tree neighbor
+        alias = self.global_of
+        for nb in sorted(neighbor_updates):
+            d, w = neighbor_updates[nb]
+            self.set_tree_neighbor(nb, alias[w] if alias is not None else w, d)
+
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Cross-check forest arrays, flags, and key aggregates.
+
+        Diagnostics only — outside the cost budget, uncharged."""
+        self.hdt.check_invariants()
+        for q in self.q_remaining:  # repro-lint: disable=R001
+            assert q not in self.deleted
+        for v, (d, _) in sorted(self.low_witness.items()):  # repro-lint: disable=R001
+            assert v not in self.deleted
+            assert self.hdt.keys[v] == np.int64(-d) * self.g.n + v

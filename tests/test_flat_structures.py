@@ -1,0 +1,183 @@
+"""Unit coverage for the flat (array-native) structure twins.
+
+The differential fuzzer (``repro.analysis.fuzz``) exercises the flat
+absorption structure against the tracked mirrors on random cases; the
+tests here pin the *deliberate* edge cases — empty forests, singleton
+components, all-separator components, deleting an entire tree in one
+batch — and the Lemma 4.5 CSR twin's lockstep with the tournament
+structure, including the ``from_csr`` construction ``merge_paths`` uses
+for the contracted graph.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.analysis.fuzz import check_ops_case
+from repro.graph.generators import gnm_random_connected_graph
+from repro.graph.graph import Graph
+from repro.pram import Tracker
+from repro.structures.adjacency_query import ActiveNeighborStructure
+from repro.structures.flat_absorb import FlatAbsorptionStructure, FlatForest
+from repro.structures.flat_neighbors import FlatActiveNeighborStructure
+
+
+def _csr_of(g: Graph):
+    """CSR arrays in ``Graph.adj`` (edge-id) order — the canonical
+    adjacency layout ``FlatActiveNeighborStructure.__init__`` builds."""
+    deg = np.fromiter((len(a) for a in g.adj), dtype=np.int64, count=g.n)
+    indptr = np.zeros(g.n + 1, dtype=np.int64)
+    np.cumsum(deg, out=indptr[1:])
+    if g.m:
+        nbr = np.concatenate(
+            [np.asarray(a, dtype=np.int64) for a in g.adj if a]
+        )
+        eids = np.concatenate(
+            [np.asarray(a, dtype=np.int64) for a in g.adj_eids if a]
+        )
+    else:
+        nbr = np.empty(0, dtype=np.int64)
+        eids = np.empty(0, dtype=np.int64)
+    return indptr, nbr, eids
+
+
+class TestFlatNeighborsDifferential:
+    """FlatActiveNeighborStructure must answer exactly like the
+    tournament-tree structure under any deactivate/query schedule."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_lockstep_random_schedules(self, seed):
+        rng = random.Random(seed)
+        n = rng.randrange(8, 40)
+        g = gnm_random_connected_graph(n, min(2 * n, n * (n - 1) // 2), seed=seed)
+        ref = ActiveNeighborStructure(g, tracker=Tracker())
+        flat = FlatActiveNeighborStructure(g, tracker=Tracker())
+        alive = set(range(n))
+        for _ in range(12):
+            if rng.random() < 0.5 and len(alive) > 2:
+                k = rng.randrange(1, max(2, len(alive) // 3))
+                batch = rng.sample(sorted(alive), k)
+                alive -= set(batch)
+                ref.make_inactive(batch)
+                flat.make_inactive(batch)
+            probes = rng.sample(range(n), min(n, 5))
+            t_count = rng.randrange(0, 5)
+            assert ref.query(probes, t_count) == flat.query(probes, t_count)
+            for v in probes:
+                assert ref.is_active(v) == flat.is_active(v)
+                assert ref.n_active_neighbors(v) == flat.n_active_neighbors(v)
+
+    def test_from_csr_matches_graph_construction(self):
+        g = gnm_random_connected_graph(30, 60, seed=5)
+        a = FlatActiveNeighborStructure(g, tracker=Tracker())
+        b = FlatActiveNeighborStructure.from_csr(
+            g.n, *_csr_of(g), tracker=Tracker()
+        )
+        b.make_inactive([3, 7, 11])
+        a.make_inactive([3, 7, 11])
+        probes = list(range(g.n))
+        for t_count in (0, 1, 2, 4, 100):
+            assert a.query(probes, t_count) == b.query(probes, t_count)
+        assert a._n_active.tolist() == b._n_active.tolist()
+
+    def test_double_deactivation_rejected(self):
+        g = gnm_random_connected_graph(10, 15, seed=1)
+        flat = FlatActiveNeighborStructure(g, tracker=Tracker())
+        flat.make_inactive([4])
+        with pytest.raises(ValueError):
+            flat.make_inactive([4])
+
+    def test_query_rejects_negative_t(self):
+        g = gnm_random_connected_graph(6, 7, seed=0)
+        flat = FlatActiveNeighborStructure(g, tracker=Tracker())
+        with pytest.raises(ValueError):
+            flat.query([0], -1)
+
+    def test_empty_queries_and_exhausted_vertices(self):
+        g = gnm_random_connected_graph(8, 10, seed=2)
+        flat = FlatActiveNeighborStructure(g, tracker=Tracker())
+        assert flat.query([], 3) == []
+        assert flat.query([0, 1], 0) == [[], []]
+        flat.make_inactive(list(range(1, 8)))
+        # vertex 0 is still active but all its neighbors are gone
+        assert flat.query([0], 4) == [[]]
+        assert flat.n_active_neighbors(0) == 0
+
+
+class TestFlatForestEdgeCases:
+    """Deliberate structural corners of the flat Lemma 5.1/6.x stack.
+
+    ``check_ops_case`` runs the op sequence through all four
+    (structure x kernel) backend pairs plus the brute-force model, so
+    each case here is a full lockstep assertion, not a smoke test."""
+
+    def test_empty_forest(self):
+        # no edges at all: every vertex is a singleton tree
+        g = Graph(6, [])
+        check_ops_case(g, [
+            ("flag", [0, 2, 4]),
+            ("witness", 1, 3, 5),
+            ("delete", [0, 1], [2]),
+            ("flag", [1]),
+            ("delete", [2], []),
+        ])
+
+    def test_singleton_components_after_deletions(self):
+        # a path; deleting interior vertices leaves singletons behind
+        g = Graph(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        check_ops_case(g, [
+            ("flag", [0, 1, 2, 3, 4]),
+            ("witness", 2, 0, 3),
+            ("delete", [1, 3], [1, 2]),
+            ("witness", 0, 1, 4),
+            ("delete", [2], [0]),
+        ])
+
+    def test_all_separator_component(self):
+        # every vertex flagged: find_path_s2p must truncate immediately
+        g = gnm_random_connected_graph(9, 14, seed=3)
+        ops = [("flag", list(range(9)))]
+        ops += [("witness", i, i + 1, i % 7) for i in range(6)]
+        ops += [("delete", [0, 1], [3]), ("delete", [2, 3, 4], [1, 5])]
+        check_ops_case(g, ops)
+
+    def test_batch_deleting_an_entire_tour(self):
+        # one batch removes every tree edge of a component
+        g = Graph(6, [(0, 1), (0, 2), (1, 3), (2, 4), (3, 5)])
+        f = FlatForest(g, tracker=Tracker(), kernel_backend="numpy")
+        changes = f.batch_delete(list(range(g.m)))
+        assert [c.kind for c in changes] == ["cut"] * g.m
+        for v in range(6):
+            assert f.component_rep(v) == v
+            assert int(f.parent[v]) == -1
+        assert f.spanning_forest_edges() == []
+        f.check_invariants()
+
+    def test_star_center_deletion_via_ops(self):
+        # deleting a star center in one batch splits into all-singletons
+        g = Graph(5, [(0, 1), (0, 2), (0, 3), (0, 4)])
+        check_ops_case(g, [
+            ("flag", [0, 1, 2, 3, 4]),
+            ("witness", 4, 2, 6),
+            ("delete", [0], [4]),
+        ])
+
+    def test_find_path_same_vertex_flagged(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        s = FlatAbsorptionStructure(g, tracker=Tracker())
+        s.set_separator([2])
+        assert s.find_path_s2p(2, 2) == [2]
+        # path walks up to the first flagged vertex and stops there
+        assert s.find_path_s2p(2, 0) == [0, 1, 2]
+        s.set_separator([1])
+        assert s.find_path_s2p(2, 0) == [0, 1]
+
+    def test_disconnected_query_rejected(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        s = FlatAbsorptionStructure(g, tracker=Tracker())
+        s.set_separator([0])
+        with pytest.raises(ValueError):
+            s.find_path_s2p(0, 3)

@@ -103,7 +103,7 @@ class TestTracedRunContents:
         _, _, mtr = traced
         table = mtr.as_dict()
         assert table["separator.rounds"] > 0
-        assert table["ett.splay_rotations"] > 0
+        assert table["flat.rebuilds"] > 0
         assert table["absorb.iterations"] > 0
         assert table["hdt.promotions"] >= 0
 
