@@ -19,7 +19,7 @@ Absorption, separator merging (CSR-built Lemma 4.5 twin) and subgraph
 extraction are array-resident, so the end-to-end ratio is now a real
 acceptance surface: ``E2E_RATIO_FLOOR`` is asserted at the largest
 pytest size, and the ISSUE's ≥5× target is recorded at n = 1e5 by the
-``--big`` run (results land in ``BENCH_PR6.json`` under
+``--big`` run (results land in ``BENCH_PR7.json`` under
 ``e17_driver_big``). The tracked backend stays byte-identical: every
 row first asserts equal parent/depth maps.
 """
@@ -220,7 +220,7 @@ def test_e17_smoke():
 
 def run_big() -> None:
     """The ISSUE acceptance record: one sequential tracked-vs-numpy run
-    at n = 1e5, published to ``BENCH_PR6.json`` under ``e17_driver_big``
+    at n = 1e5, published to ``BENCH_PR7.json`` under ``e17_driver_big``
     (a separate key so routine pytest runs never overwrite it).
 
     Best-of-3 on the numpy side (same policy as ``run_subsystem``):

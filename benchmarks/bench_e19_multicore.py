@@ -1,0 +1,229 @@
+"""E19 — multicore backend: measured T_p vs Brent envelopes.
+
+The ``parallel`` kernel backend runs the tiled kernel phases across real
+OS worker processes (``repro.kernels.tiling`` over ``pram/shm`` +
+``pram/executor``). This experiment is the validation the tracker's
+numbers have been promising since PR 1: sweep the pool width
+``p = 1..cores`` over the kernel subsystem, measure each phase's wall
+clock ``T_p``, and join every point against the Brent envelope
+``[c·max(W/p', D), slack·c·(W/p' + D)]`` with ``p' = min(p,
+cpu_count)`` and ``c`` calibrated per phase from its own serial run
+(``repro.analysis.brent``).
+
+Assertions are hardware-gated — the identity checks always run; the
+envelope verdicts are asserted when the machine has ≥ 2 physical cores
+(below that "parallel" wall clock measures time slicing, not
+parallelism) *and* the phase's serial time is ≥ 50 ms (below that the
+per-batch pool dispatch latency — a fixed ~1 ms per kernel round, not
+part of Brent's operation count — dominates the measurement; the
+verdict is still recorded); the ≥ 1.7× speedup floor at p = 4 is
+asserted when the machine has ≥ 4 cores. All measurements and verdicts
+are published to ``BENCH_PR7.json`` either way, stamped with
+workers/cpu_count/platform so curves from different machines never get
+conflated.
+
+Environment knobs: ``REPRO_E19_N`` scales the phase sizes (default
+100_000; CI's mini sweep uses 20_000), ``REPRO_E19_SLACK`` overrides
+the documented 4× envelope constant, ``REPRO_E19_MIN_T1`` the 50 ms
+compute-dominance floor.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+import numpy as np
+from conftest import publish
+
+from repro.analysis import format_table
+from repro.analysis.brent import DEFAULT_SLACK, envelope_report, format_report
+from repro.core.dfs import parallel_dfs
+from repro.graph.generators import gnm_random_connected_graph
+from repro.kernels import scan as kscan
+from repro.kernels import tiling
+from repro.kernels.components import connected_components_np
+from repro.kernels.listrank import wyllie_ranks
+from repro.kernels.matching import maximal_matching_np
+from repro.pram import Tracker
+from repro.pram.executor import get_pool, shutdown_pool
+from repro.pram.shm import leaked_segments
+
+N = int(os.environ.get("REPRO_E19_N", "100000"))
+SLACK = float(os.environ.get("REPRO_E19_SLACK", str(DEFAULT_SLACK)))
+#: serial time below which a phase is dispatch-dominated and its envelope
+#: verdict is recorded but not asserted (see module docstring)
+MIN_T1_S = float(os.environ.get("REPRO_E19_MIN_T1", "0.05"))
+CORES = os.cpu_count() or 1
+#: widths to sweep: 1 (serial calibration) up to the core count, plus one
+#: oversubscribed point (p > cores) to exercise the p_eff cap
+WIDTHS = sorted({1, 2, 4, CORES, min(8, CORES + 1)} - {0})
+
+
+def _phase_inputs():
+    """Deterministic inputs for each swept kernel phase."""
+    rng = np.random.default_rng(0xE19)
+    xs = rng.integers(-1000, 1000, size=8 * N).astype(np.int64)
+    perm = rng.permutation(N)
+    prev = np.full(N, -1, dtype=np.int64)
+    prev[perm[1:]] = perm[:-1]
+    ones = np.ones(N, dtype=np.int64)
+    g = gnm_random_connected_graph(N, 2 * N, seed=0xE19)
+    return xs, prev, ones, g
+
+
+def _best_of(fn, reps: int = 3) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_sweep():
+    xs, prev, ones, g = _phase_inputs()
+    edges = g.edges
+
+    # tracked W/D per phase, from the numpy twins' aggregate charges —
+    # identical to what the parallel shims charge (pinned by tests)
+    phases: dict[str, tuple[int, int]] = {}
+
+    def _measure(name, fn):
+        t = Tracker()
+        fn(t)
+        phases[name] = (t.work, t.span)
+
+    _measure("scan", lambda t: kscan.exclusive_scan(t, xs))
+    _measure("wyllie", lambda t: wyllie_ranks(prev, ones, t))
+    _measure("components", lambda t: connected_components_np(g, t))
+    _measure(
+        "matching",
+        lambda t: maximal_matching_np(t, g.n, edges, random.Random(0xE19)),
+    )
+
+    runners = {
+        "scan": lambda: tiling.exclusive_scan_par(None, xs),
+        "wyllie": lambda: tiling.wyllie_ranks_par(prev, ones, None),
+        "components": lambda: tiling.connected_components_par(g, None),
+        "matching": lambda: tiling.maximal_matching_par(
+            None, g.n, edges, random.Random(0xE19)
+        ),
+    }
+
+    timings: dict[str, dict[int, float]] = {name: {} for name in runners}
+    tiling.set_parallel_threshold(0)
+    try:
+        for p in WIDTHS:
+            get_pool(p)
+            # warm the workers (imports, first shm attach) out-of-band
+            tiling.exclusive_scan_par(None, xs[: 4 * p + 4])
+            for name, fn in runners.items():
+                timings[name][p] = _best_of(fn)
+    finally:
+        tiling.set_parallel_threshold(None)
+        shutdown_pool()
+    assert not leaked_segments(), "shared-memory segments leaked"
+
+    verdicts = envelope_report(
+        phases, timings, slack=SLACK, cpu_count=CORES
+    )
+    return phases, timings, verdicts
+
+
+def render(phases, timings, verdicts):
+    rows = []
+    for name in sorted(timings):
+        t1 = timings[name].get(1)
+        for p in sorted(timings[name]):
+            tp = timings[name][p]
+            rows.append(
+                (name, p, round(tp * 1e3, 3),
+                 round(t1 / tp, 2) if t1 else float("nan"))
+            )
+    curve = format_table(["phase", "p", "T_p (ms)", "speedup"], rows)
+    return "\n".join(
+        [
+            f"T_p sweep over the kernel subsystem (n={N}, cores={CORES}, "
+            f"slack={SLACK}x):",
+            curve,
+            "",
+            "Brent envelope verdicts (p_eff = min(p, cores)):",
+            format_report(verdicts),
+        ]
+    )
+
+
+def test_e19_multicore_sweep(benchmark):
+    phases, timings, verdicts = benchmark.pedantic(
+        run_sweep, rounds=1, iterations=1
+    )
+    # the envelope claim is only meaningful where parallelism is real and
+    # compute (not fixed dispatch latency) dominates the measurement
+    if CORES >= 2:
+        bad = [
+            v for v in verdicts
+            if not v.ok and timings[v.phase].get(1, 0.0) >= MIN_T1_S
+        ]
+        assert not bad, "points outside Brent envelope:\n" + format_report(bad)
+    if CORES >= 4:
+        for name, times in timings.items():
+            if 4 in times and 1 in times:
+                speed = times[1] / times[4]
+                assert speed >= 1.7, (
+                    f"phase {name}: T_1/T_4 = {speed:.2f} < 1.7x"
+                )
+    publish(
+        "e19_multicore",
+        render(phases, timings, verdicts),
+        data={
+            "n": N,
+            "slack": SLACK,
+            "widths": WIDTHS,
+            "phases": {
+                name: {
+                    "work": phases[name][0],
+                    "span": phases[name][1],
+                    "t_p": {str(p): round(s, 6) for p, s in sorted(times.items())},
+                }
+                for name, times in sorted(timings.items())
+            },
+            "verdicts": [
+                {
+                    "phase": v.phase,
+                    "p": v.p,
+                    "p_eff": v.p_eff,
+                    "t_measured": round(v.t_measured, 6),
+                    "t_lower": round(v.t_lower, 6),
+                    "t_upper": round(v.t_upper, 6),
+                    "ok": v.ok,
+                }
+                for v in verdicts
+            ],
+        },
+    )
+
+
+def test_e19_parallel_identity():
+    """n=2000 DFS: the parallel backend's tree is byte-identical.
+
+    This is the CI smoke: REPRO_WORKERS=2 end-to-end, fallback *and*
+    pool-dispatch paths both forced, against the tracked instrument.
+    """
+    g = gnm_random_connected_graph(2000, 4000, seed=0xE19)
+    runs = {}
+    for kb in ("tracked", "numpy", "parallel"):
+        r = parallel_dfs(g, 0, rng=random.Random(11), kernel_backend=kb)
+        runs[kb] = (r.parent, r.depth)
+    assert runs["tracked"] == runs["numpy"] == runs["parallel"]
+    # same tree with genuine pool dispatch on every kernel call
+    tiling.set_parallel_threshold(0)
+    try:
+        get_pool(2)
+        r = parallel_dfs(g, 0, rng=random.Random(11), kernel_backend="parallel")
+        assert (r.parent, r.depth) == runs["tracked"]
+    finally:
+        tiling.set_parallel_threshold(None)
+        shutdown_pool()
+    assert not leaked_segments(), "shared-memory segments leaked"

@@ -10,22 +10,25 @@ claimed bounds); wall-clock numbers reported by pytest-benchmark time the
 simulation, not the algorithm, and are used only in E14.
 
 Alongside the human-readable tables, the harness maintains one
-machine-readable ledger, ``results/BENCH_PR6.json`` (one file per PR;
-earlier numbers stay frozen in ``BENCH_PR1.json``..``BENCH_PR5.json``):
+machine-readable ledger, ``results/BENCH_PR7.json`` (one file per PR;
+earlier numbers stay frozen in ``BENCH_PR1.json``..``BENCH_PR6.json``):
 every benchmark test
 gets its wall-clock seconds *and peak RSS* recorded automatically, and
 experiments that
 measure tracked work/span can attach those numbers via ``publish(...,
 data=...)`` (or ``publish_json`` directly). Each entry also records the
-git commit and the resolved kernel backend active when it was written,
-so a diff across PRs always knows what produced the numbers. Regression
-tooling diffs this file across PRs instead of parsing the text tables.
+git commit, the resolved kernel backend, the worker count, the machine's
+core count, and the platform active when it was written, so a diff
+across PRs (or machines — T_p curves are hardware-bound) always knows
+what produced the numbers. Regression tooling diffs this file across
+PRs instead of parsing the text tables.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import platform
 import resource
 import subprocess
 import time
@@ -33,13 +36,18 @@ import time
 import pytest
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
-BENCH_JSON = os.path.join(RESULTS_DIR, "BENCH_PR6.json")
+BENCH_JSON = os.path.join(RESULTS_DIR, "BENCH_PR7.json")
 
 _git_sha: str | None = None
 
 
 def _provenance() -> dict:
-    """The git SHA and resolved kernel backend to stamp on each entry."""
+    """Reproducibility stamp: commit, backend, workers, cores, platform.
+
+    ``workers``/``cpu_count``/``platform`` make T_p entries portable —
+    a speedup curve means nothing without the width it ran at and the
+    machine it ran on.
+    """
     global _git_sha
     if _git_sha is None:
         try:
@@ -53,8 +61,15 @@ def _provenance() -> dict:
         except (OSError, subprocess.SubprocessError):
             _git_sha = "unknown"
     from repro.kernels.dispatch import default_backend
+    from repro.pram.executor import default_workers
 
-    return {"git_sha": _git_sha, "kernel_backend": default_backend()}
+    return {
+        "git_sha": _git_sha,
+        "kernel_backend": default_backend(),
+        "workers": default_workers(),
+        "cpu_count": os.cpu_count() or 1,
+        "platform": f"{platform.system()}-{platform.machine()}-py{platform.python_version()}",
+    }
 
 
 def publish_json(name: str, record: dict) -> None:
@@ -75,7 +90,7 @@ def publish_json(name: str, record: dict) -> None:
 def publish(name: str, text: str, data: dict | None = None) -> None:
     """Print an experiment's table and persist it under results/.
 
-    ``data``, when given, is merged into ``BENCH_PR6.json`` under the
+    ``data``, when given, is merged into ``BENCH_PR7.json`` under the
     experiment's name — use it for the tracked work/span numbers the
     text table reports, so regressions are diffable by machine.
     """

@@ -1,5 +1,12 @@
 """Experiment harness: measurement records, fits, sweep runners."""
 
+from .brent import (
+    EnvelopeVerdict,
+    calibrate,
+    check_envelope,
+    envelope_report,
+    format_report,
+)
 from .metrics import (
     Measurement,
     format_table,
@@ -17,6 +24,11 @@ from .runner import (
 )
 
 __all__ = [
+    "EnvelopeVerdict",
+    "calibrate",
+    "check_envelope",
+    "envelope_report",
+    "format_report",
     "Measurement",
     "format_table",
     "geometric_sizes",

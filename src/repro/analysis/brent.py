@@ -1,0 +1,177 @@
+"""Brent-bound validation: measured T_p against the tracker's envelopes.
+
+Brent's scheduling theorem says a computation with work ``W`` and span
+(depth) ``D`` runs on ``p`` processors in
+
+    max(W/p, D)  <=  T_p  <=  W/p + D
+
+*in units of elementary operations*. The tracker measures W and D in
+exactly those units; the worker pool measures ``T_p`` in seconds. The
+bridge between them is a calibration constant ``c`` — seconds per
+tracked operation on this machine — fitted from the serial run:
+``c = T_1 / W`` (at ``p = 1`` the lower and upper envelope coincide at
+``W`` up to the additive ``D``, so the serial wall clock *is* the cost
+of W sequential operations).
+
+:func:`check_envelope` then asks, for each measured ``(p, T_p)`` point,
+whether ``T_p`` lands inside ``[c·max(W/p', D), slack · c·(W/p' + D)]``
+where ``p' = min(p, cpu_count)`` — workers beyond the physical cores
+add no parallelism, so the envelope must not predict speedup the
+hardware cannot deliver. ``slack`` (default 4) absorbs the constant
+factors the asymptotic bound hides: per-tile dispatch, shared-memory
+traffic, numpy call overhead. A measurement *below* the lower envelope
+(beyond tolerance) is flagged too — that means the calibration or the
+accounting is wrong, which is exactly what this module exists to catch.
+
+Experiment E19 (``benchmarks/bench_e19_multicore.py``) sweeps
+``p = 1..cores`` over the kernel subsystem and writes each phase's curve
+plus these verdicts into ``BENCH_PR7.json``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from ..pram.tracker import brent_time_bounds
+
+__all__ = [
+    "EnvelopeVerdict",
+    "calibrate",
+    "check_envelope",
+    "envelope_report",
+    "format_report",
+]
+
+#: multiplicative headroom on the upper envelope (documented constant
+#: factor: tile dispatch + shm traffic + numpy per-call overhead)
+DEFAULT_SLACK = 4.0
+
+
+@dataclass(frozen=True)
+class EnvelopeVerdict:
+    """One measured point joined against its Brent envelope."""
+
+    phase: str
+    p: int
+    p_eff: int  # min(p, cpu_count): the parallelism the hardware has
+    work: int
+    span: int
+    t_measured: float  # seconds
+    t_lower: float  # c * max(W/p_eff, D) seconds
+    t_upper: float  # slack * c * (W/p_eff + D) seconds
+    ok: bool
+
+    @property
+    def speedup_bound(self) -> float:
+        """The envelope's best-case speedup at this width: W / max(W/p, D)."""
+        lo, _ = brent_time_bounds(self.work, self.span, self.p_eff)
+        return self.work / lo if lo else 1.0
+
+
+def calibrate(t1_seconds: float, work: int) -> float:
+    """Seconds per tracked operation, from the serial (p=1) run.
+
+    The serial run executes the W tracked operations one after another,
+    so ``c = T_1 / W`` is the machine's measured cost per operation for
+    this workload's instruction mix.
+    """
+    if work <= 0:
+        raise ValueError(f"work must be positive to calibrate, got {work}")
+    if t1_seconds <= 0:
+        raise ValueError(
+            f"serial time must be positive to calibrate, got {t1_seconds}"
+        )
+    return t1_seconds / work
+
+
+def check_envelope(
+    phase: str,
+    p: int,
+    work: int,
+    span: int,
+    t_measured: float,
+    c: float,
+    slack: float = DEFAULT_SLACK,
+    cpu_count: int | None = None,
+) -> EnvelopeVerdict:
+    """Join one measured ``(p, T_p)`` point against its Brent envelope.
+
+    The envelope is evaluated at ``p_eff = min(p, cpu_count)``: a pool
+    wider than the physical cores time-slices, so Brent's ``W/p`` term
+    stops shrinking at the core count. The lower bound is also relaxed
+    by ``1/slack`` — calibration drift (cache effects between the
+    calibration workload and the phase under test) must not flag a
+    *fast* run as a violation unless it is implausibly fast.
+    """
+    cores = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
+    p_eff = max(1, min(p, cores))
+    lo_ops, hi_ops = brent_time_bounds(work, span, p_eff)
+    t_lower = c * lo_ops
+    t_upper = slack * c * hi_ops
+    ok = (t_lower / slack) <= t_measured <= t_upper
+    return EnvelopeVerdict(
+        phase=phase,
+        p=p,
+        p_eff=p_eff,
+        work=work,
+        span=span,
+        t_measured=t_measured,
+        t_lower=t_lower,
+        t_upper=t_upper,
+        ok=ok,
+    )
+
+
+def envelope_report(
+    phases: dict[str, tuple[int, int]],
+    timings: dict[str, dict[int, float]],
+    t1_total: float | None = None,
+    slack: float = DEFAULT_SLACK,
+    cpu_count: int | None = None,
+) -> list[EnvelopeVerdict]:
+    """Verdicts for every (phase, p) measurement.
+
+    ``phases`` maps phase name to its tracked ``(work, span)``;
+    ``timings`` maps phase name to ``{p: seconds}``. Calibration is per
+    phase from its own p=1 timing (each phase has its own instruction
+    mix); ``t1_total`` optionally overrides the calibration basis with
+    an external serial measurement of the full pipeline.
+    """
+    verdicts: list[EnvelopeVerdict] = []
+    for phase in sorted(phases):
+        work, span = phases[phase]
+        times = timings.get(phase, {})
+        if not times or work <= 0:
+            continue
+        if 1 in times:
+            c = calibrate(times[1], work)
+        elif t1_total is not None:
+            total_work = sum(w for w, _ in phases.values())
+            c = calibrate(t1_total, total_work)
+        else:
+            continue
+        for p in sorted(times):
+            verdicts.append(
+                check_envelope(
+                    phase, p, work, span, times[p], c,
+                    slack=slack, cpu_count=cpu_count,
+                )
+            )
+    return verdicts
+
+
+def format_report(verdicts: list[EnvelopeVerdict]) -> str:
+    """Fixed-width table of envelope verdicts (for the E19 text output)."""
+    header = (
+        f"{'phase':<24} {'p':>3} {'p_eff':>5} {'W':>12} {'D':>8} "
+        f"{'T_p (s)':>10} {'lower':>10} {'upper':>10} verdict"
+    )
+    lines = [header, "-" * len(header)]
+    for v in verdicts:
+        lines.append(
+            f"{v.phase:<24} {v.p:>3} {v.p_eff:>5} {v.work:>12} {v.span:>8} "
+            f"{v.t_measured:>10.4f} {v.t_lower:>10.4f} {v.t_upper:>10.4f} "
+            f"{'in-envelope' if v.ok else 'OUTSIDE'}"
+        )
+    return "\n".join(lines)

@@ -75,7 +75,12 @@ FUZZ_FAMILIES = [
     "spider", "cycletree", "bipartite", "powerlaw",
 ]
 
-_BACKENDS = ("tracked", "numpy")
+#: kernel backends every DFS case runs under — byte-identity is checked
+#: pairwise against the tracked instrument. The parallel column runs the
+#: tiled multiprocess shims (serial in-process below the tiling
+#: threshold, which fuzz-sized graphs always are; the genuine pool
+#: paths are pinned separately by tests/test_parallel_backend.py).
+_BACKENDS = ("tracked", "numpy", "parallel")
 
 #: structure backends the op-sequence cases run in lockstep. Each pair
 #: (structure backend x kernel backend) must agree on every canonical
@@ -114,14 +119,18 @@ def check_dfs_case(
             kernel_backend=kb,
         )
         trackers[kb] = t
-    r_tr, r_np = results["tracked"], results["numpy"]
-    assert r_tr.parent == r_np.parent, (
-        f"parent maps diverge: {sorted(set(r_tr.parent.items()) ^ set(r_np.parent.items()))[:6]}"
-    )
-    assert r_tr.depth == r_np.depth, "depth maps diverge"
-    assert _int_stats(r_tr.stats) == _int_stats(r_np.stats), (
-        f"stats diverge: tracked={_int_stats(r_tr.stats)} numpy={_int_stats(r_np.stats)}"
-    )
+    r_tr = results["tracked"]
+    for kb in _BACKENDS[1:]:
+        r_kb = results[kb]
+        assert r_tr.parent == r_kb.parent, (
+            f"parent maps diverge (tracked vs {kb}): "
+            f"{sorted(set(r_tr.parent.items()) ^ set(r_kb.parent.items()))[:6]}"
+        )
+        assert r_tr.depth == r_kb.depth, f"depth maps diverge (tracked vs {kb})"
+        assert _int_stats(r_tr.stats) == _int_stats(r_kb.stats), (
+            f"stats diverge: tracked={_int_stats(r_tr.stats)} "
+            f"{kb}={_int_stats(r_kb.stats)}"
+        )
     # brute-force oracle
     err = explain_dfs_tree(g, root, r_tr.parent)
     assert err is None, f"oracle: {err}"

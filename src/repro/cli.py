@@ -32,6 +32,12 @@ from .pram import Tracker, brent_time_bounds
 __all__ = ["main"]
 
 
+#: ``--backend`` values that name a kernel execution engine rather than a
+#: Lemma 5.1 absorption structure (the structure then stays at "flat",
+#: the array-native default that pairs with the array engines)
+_KERNEL_BACKENDS = ("tracked", "numpy", "parallel")
+
+
 def _cmd_dfs(args: argparse.Namespace) -> int:
     from contextlib import nullcontext
 
@@ -41,6 +47,18 @@ def _cmd_dfs(args: argparse.Namespace) -> int:
         g = read_edge_list(args.edge_list)
     else:
         g = make_family(args.family, args.n, seed=args.seed)
+    structure = args.backend
+    kernel_backend = None
+    if args.backend in _KERNEL_BACKENDS:
+        structure = "flat"
+        kernel_backend = args.backend
+    if args.workers is not None:
+        if kernel_backend != "parallel":
+            print("--workers requires --backend parallel", file=sys.stderr)
+            return 2
+        from .pram.executor import get_pool
+
+        get_pool(args.workers)
     t = Tracker()
     trc = mtr = None
     scope = nullcontext()
@@ -48,7 +66,7 @@ def _cmd_dfs(args: argparse.Namespace) -> int:
         from .kernels.dispatch import resolve_backend
         from .obs import Metrics, Tracer, activate
 
-        trc = Tracer(tracker=t, backend=resolve_backend(None))
+        trc = Tracer(tracker=t, backend=resolve_backend(kernel_backend))
         mtr = Metrics()
         scope = activate(trc, mtr)
     with scope:
@@ -57,7 +75,8 @@ def _cmd_dfs(args: argparse.Namespace) -> int:
             args.root,
             tracker=t,
             rng=random.Random(args.seed),
-            backend=args.backend,
+            backend=structure,
+            kernel_backend=kernel_backend,
             verify=True,
         )
     seq = Tracker()
@@ -161,7 +180,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--root", type=int, default=0)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument(
-        "--backend", choices=("rc", "rc-det", "lct"), default="rc"
+        "--backend",
+        choices=("rc", "rc-det", "lct", "flat") + _KERNEL_BACKENDS,
+        default="rc",
+        help="absorption structure (rc/rc-det/lct/flat) or kernel engine "
+             "(tracked/numpy/parallel; structure then defaults to flat)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker-process count for --backend parallel "
+             "(default: REPRO_WORKERS or cpu count)",
     )
     p.set_defaults(fn=_cmd_dfs)
 

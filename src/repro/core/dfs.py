@@ -29,7 +29,7 @@ from dataclasses import dataclass, field
 from ..baselines.sequential import sequential_dfs
 from ..graph.connectivity import connected_components
 from ..graph.graph import Graph
-from ..kernels.dispatch import resolve_backend
+from ..kernels.dispatch import is_array_backend, resolve_backend
 from ..obs import runtime as obs
 from ..obs.profile import PhaseProfiler
 from ..pram.tracker import Tracker, log2_ceil
@@ -261,7 +261,7 @@ def _group_by_label(
     """
     # parallel grouping (semisort): O(k) work, O(log) span
     t.charge(len(rlabels), log2_ceil(max(2, len(rlabels))) + 1)
-    if kb == "numpy" and rlabels:
+    if is_array_backend(kb) and rlabels:
         import numpy as np
 
         arr = np.asarray(rlabels, dtype=np.int64)
@@ -289,9 +289,7 @@ def _induced(
     graphs: the numpy path (:mod:`repro.kernels.subgraph`) reproduces
     the tracked emission order exactly.
     """
-    from ..kernels.dispatch import resolve_backend
-
-    if resolve_backend(backend) == "numpy":
+    if is_array_backend(backend):
         from ..kernels.subgraph import induced_subgraph_np
 
         sub, mapping = induced_subgraph_np(g, vertices, order="vertex")

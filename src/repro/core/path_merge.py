@@ -27,7 +27,7 @@ import random
 from dataclasses import dataclass, field
 
 from ..graph.graph import Graph
-from ..kernels.dispatch import get_kernel, resolve_backend
+from ..kernels.dispatch import get_kernel, is_array_backend, resolve_backend
 from ..matching.luby import maximal_matching
 from ..pram.tracker import Tracker, log2_ceil
 from ..structures.adjacency_query import ActiveNeighborStructure  # noqa: F401
@@ -208,7 +208,7 @@ def merge_paths(
     t.charge(g.m, log2_ceil(max(2, g.m)) + 1)
     gp: Graph | None = None
     gp_csr = None
-    if kb == "numpy" and g.m:
+    if is_array_backend(kb) and g.m:
         if neighbor_structure == "tournament":
             # all-array path: keep G' as CSR arrays and build the flat
             # neighbor structure straight from them — no intermediate

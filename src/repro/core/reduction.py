@@ -46,7 +46,7 @@ def paths_form_separator(
     check run on the vectorized kernels — identical verdict, identical
     driver-level charges.
     """
-    from ..kernels.dispatch import resolve_backend
+    from ..kernels.dispatch import is_array_backend, resolve_backend
 
     kb = resolve_backend(backend)
     q: set[int] = set()
@@ -59,7 +59,7 @@ def paths_form_separator(
     t.charge(g.n + total, log2_ceil(max(2, g.n)) + 1)
     if not keep:
         return True
-    if kb == "numpy":
+    if is_array_backend(kb):
         from ..kernels.subgraph import induced_subgraph_np
 
         h, _ = induced_subgraph_np(g, keep, order="edge")

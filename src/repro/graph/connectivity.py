@@ -119,12 +119,11 @@ def connected_components(
     valid labeling.
     """
     t = t if t is not None else Tracker()
-    from ..kernels.dispatch import resolve_backend
+    from ..kernels.dispatch import get_kernel, is_array_backend, resolve_backend
 
-    if resolve_backend(backend) == "numpy":
-        from ..kernels.components import connected_components_np
-
-        return connected_components_np(g, t)
+    kb = resolve_backend(backend)
+    if is_array_backend(kb):
+        return get_kernel("connected_components", kb)(g, t)
     labels, _ = _contraction_rounds(g, t, record_edges=False)
     return labels
 
@@ -141,12 +140,11 @@ def spanning_forest(
     order) as the tracked contraction.
     """
     t = t if t is not None else Tracker()
-    from ..kernels.dispatch import resolve_backend
+    from ..kernels.dispatch import get_kernel, is_array_backend, resolve_backend
 
-    if resolve_backend(backend) == "numpy":
-        from ..kernels.components import spanning_forest_np
-
-        return spanning_forest_np(g, t)
+    kb = resolve_backend(backend)
+    if is_array_backend(kb):
+        return get_kernel("spanning_forest", kb)(g, t)
     return _contraction_rounds(g, t, record_edges=True)
 
 
@@ -155,12 +153,11 @@ def component_sizes(
 ) -> dict[int, int]:
     """Histogram of component labels (parallel count + combine)."""
     t = t if t is not None else Tracker()
-    from ..kernels.dispatch import resolve_backend
+    from ..kernels.dispatch import get_kernel, is_array_backend, resolve_backend
 
-    if resolve_backend(backend) == "numpy":
-        from ..kernels.components import component_sizes_np
-
-        return component_sizes_np(labels, t)
+    kb = resolve_backend(backend)
+    if is_array_backend(kb):
+        return get_kernel("component_sizes", kb)(labels, t)
     sizes: dict[int, int] = {}
 
     def count(l: int) -> None:

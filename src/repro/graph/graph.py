@@ -189,9 +189,9 @@ class Graph:
         (:mod:`repro.kernels.subgraph`) — identical result, no per-edge
         Python loop.
         """
-        from ..kernels.dispatch import resolve_backend
+        from ..kernels.dispatch import is_array_backend
 
-        if resolve_backend(backend) == "numpy":
+        if is_array_backend(backend):
             from ..kernels.subgraph import induced_subgraph_np
 
             return induced_subgraph_np(self, vertices, order="edge")

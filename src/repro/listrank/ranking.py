@@ -255,12 +255,11 @@ def prefix_sums_on_lists(
     ranks. The default ``"tracked"`` backend keeps the instrumented
     implementations below as the work/span measurement instrument.
     """
-    from ..kernels.dispatch import resolve_backend
+    from ..kernels.dispatch import get_kernel, is_array_backend, resolve_backend
 
-    if resolve_backend(backend) == "numpy":
-        from ..kernels.listrank import prefix_sums_on_lists_np
-
-        return prefix_sums_on_lists_np(
+    kb = resolve_backend(backend)
+    if is_array_backend(kb):
+        return get_kernel("prefix_sums_on_lists", kb)(
             t, vertices, prev_of, value_of, method=method, rng=rng
         )
     if method == "wyllie":

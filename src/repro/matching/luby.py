@@ -47,12 +47,11 @@ def maximal_matching(
     matching is maximal under either backend but generally differs edge
     for edge (independent random priorities).
     """
-    from ..kernels.dispatch import resolve_backend
+    from ..kernels.dispatch import get_kernel, is_array_backend, resolve_backend
 
-    if resolve_backend(backend) == "numpy":
-        from ..kernels.matching import maximal_matching_np
-
-        return maximal_matching_np(t, n, edges, rng)
+    kb = resolve_backend(backend)
+    if is_array_backend(kb):
+        return get_kernel("maximal_matching", kb)(t, n, edges, rng)
     rng = rng if rng is not None else random.Random(0xA11CE)
     matched = [False] * n
     t.charge(n, 1)

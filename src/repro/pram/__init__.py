@@ -1,8 +1,15 @@
-"""PRAM work-depth substrate: cost tracking, primitives, demo executor."""
+"""PRAM work-depth substrate: cost tracking, primitives, real executors."""
 
 from .tracker import Cost, Tracker, brent_time, brent_time_bounds, log2_ceil
 from . import primitives
-from .executor import run_parallel, default_workers
+from .executor import (
+    WorkerPool,
+    default_workers,
+    get_pool,
+    run_parallel,
+    shutdown_pool,
+)
+from .shm import ShmArena, ShmRef, attach_ref, leaked_segments
 from .sorting import parallel_sort, parallel_merge
 
 __all__ = [
@@ -14,6 +21,13 @@ __all__ = [
     "primitives",
     "run_parallel",
     "default_workers",
+    "WorkerPool",
+    "get_pool",
+    "shutdown_pool",
+    "ShmArena",
+    "ShmRef",
+    "attach_ref",
+    "leaked_segments",
     "parallel_sort",
     "parallel_merge",
 ]

@@ -11,9 +11,11 @@ All primitives take the :class:`~repro.pram.tracker.Tracker` first and plain
 Python lists (the PRAM's shared memory).
 
 The array-shaped primitives additionally accept ``backend="tracked"``
-(default — the instrumented round structure below, exact counts) or
+(default — the instrumented round structure below, exact counts),
 ``backend="numpy"`` (the vectorized kernels in :mod:`repro.kernels.scan`,
-aggregate counts); return types are identical either way.
+aggregate counts), or ``backend="parallel"`` (the tiled multiprocess
+kernels in :mod:`repro.kernels.tiling`, same aggregate counts); return
+types and values are identical across all three.
 """
 
 from __future__ import annotations
@@ -39,16 +41,19 @@ __all__ = [
 ]
 
 
-def _resolve(backend: str | None) -> str:
-    from ..kernels.dispatch import resolve_backend
+def _array_kernel(operation: str, backend: str | None):
+    """The registered array-engine kernel, or None on the tracked path.
 
-    return resolve_backend(backend)
+    Routes through the registry so ``backend="parallel"`` picks up the
+    tiled multiprocess implementation where one exists (and the numpy
+    fallback where not) without this module naming backends.
+    """
+    from ..kernels.dispatch import get_kernel, is_array_backend, resolve_backend
 
-
-def _numpy_scan():
-    from ..kernels import scan
-
-    return scan
+    kb = resolve_backend(backend)
+    if is_array_backend(kb):
+        return get_kernel(operation, kb)
+    return None
 
 
 def reduce(t: Tracker, xs: Sequence[T], combine: Callable[[T, T], T], identity: T) -> T:
@@ -79,8 +84,9 @@ def reduce(t: Tracker, xs: Sequence[T], combine: Callable[[T, T], T], identity: 
 def reduce_sum(
     t: Tracker, xs: Sequence[int], backend: str | None = None
 ) -> int:
-    if _resolve(backend) == "numpy":
-        return _numpy_scan().reduce_sum(t, xs)
+    fn = _array_kernel("reduce_sum", backend)
+    if fn is not None:
+        return fn(t, xs)
     return reduce(t, xs, lambda a, b: a + b, 0)
 
 
@@ -89,8 +95,9 @@ def reduce_max(
 ) -> int:
     if not xs:
         raise ValueError("reduce_max of empty sequence")
-    if _resolve(backend) == "numpy":
-        return _numpy_scan().reduce_max(t, xs)
+    fn = _array_kernel("reduce_max", backend)
+    if fn is not None:
+        return fn(t, xs)
     return reduce(t, xs, lambda a, b: a if a >= b else b, xs[0])
 
 
@@ -99,8 +106,9 @@ def reduce_min(
 ) -> int:
     if not xs:
         raise ValueError("reduce_min of empty sequence")
-    if _resolve(backend) == "numpy":
-        return _numpy_scan().reduce_min(t, xs)
+    fn = _array_kernel("reduce_min", backend)
+    if fn is not None:
+        return fn(t, xs)
     return reduce(t, xs, lambda a, b: a if a <= b else b, xs[0])
 
 
@@ -112,8 +120,9 @@ def exclusive_scan(
     Returns ``out`` with ``out[i] = sum(xs[:i])``; ``out`` has the same
     length as ``xs``.
     """
-    if _resolve(backend) == "numpy":
-        return _numpy_scan().exclusive_scan(t, xs).tolist()
+    fn = _array_kernel("exclusive_scan", backend)
+    if fn is not None:
+        return fn(t, xs).tolist()
     n = len(xs)
     t.op(1)
     if n == 0:
@@ -159,8 +168,9 @@ def inclusive_scan(
     t: Tracker, xs: Sequence[int], backend: str | None = None
 ) -> list[int]:
     """Inclusive prefix-sum built from the exclusive scan."""
-    if _resolve(backend) == "numpy":
-        return _numpy_scan().inclusive_scan(t, xs).tolist()
+    fn = _array_kernel("inclusive_scan", backend)
+    if fn is not None:
+        return fn(t, xs).tolist()
     ex = exclusive_scan(t, xs)
 
     def add(i: int) -> int:
@@ -182,9 +192,10 @@ def pack(
     """
     if len(xs) != len(flags):
         raise ValueError("xs and flags must have equal length")
-    if _resolve(backend) == "numpy":
+    fn = _array_kernel("pack_index", backend)
+    if fn is not None:
         # select through an index kernel: keeps element identity for any T
-        return [xs[i] for i in _numpy_scan().pack_index(t, flags)]
+        return [xs[i] for i in fn(t, flags)]
     idx = exclusive_scan(t, [1 if f else 0 for f in flags])
     total = (idx[-1] + (1 if flags[-1] else 0)) if xs else 0
     out: list[T] = [None] * total  # type: ignore[list-item]
@@ -202,8 +213,9 @@ def pack_index(
     t: Tracker, flags: Sequence[bool], backend: str | None = None
 ) -> list[int]:
     """Indices ``i`` with ``flags[i]`` set, in order."""
-    if _resolve(backend) == "numpy":
-        return _numpy_scan().pack_index(t, flags).tolist()
+    fn = _array_kernel("pack_index", backend)
+    if fn is not None:
+        return fn(t, flags).tolist()
     return pack(t, list(range(len(flags))), flags)
 
 

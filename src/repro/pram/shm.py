@@ -1,0 +1,227 @@
+"""Shared-memory arena: zero-copy numpy arrays across worker processes.
+
+The ``parallel`` kernel backend ships *no array data* through its task
+pipes. Instead, the parent publishes every input/output array of a tiled
+kernel call into a :class:`ShmArena` — named ``multiprocessing.
+shared_memory`` segments wrapped as numpy views — and sends workers only
+:class:`ShmRef` descriptors (segment name, shape, dtype). A worker
+attaches the segment (an ``mmap``, not a copy), builds the identical
+view, and reads or writes its tile in place.
+
+Lifecycle rules (enforced here, tested in ``tests/test_shm.py``):
+
+* the arena that *created* a segment owns it: ``close()`` releases the
+  local mapping, ``unlink()`` additionally removes the name from the
+  OS (``/dev/shm`` on Linux); both are idempotent and safe to call in
+  either order or twice;
+* ``ShmArena`` is a context manager that **unlinks on exit, exceptions
+  included** — a failed kernel call cannot leak segments;
+* attach-side mappings (:func:`attach_ref`) never unlink; they
+  deregister themselves from the CPython ``resource_tracker`` so the
+  owner's unlink is the only one (no double-unlink warnings at
+  interpreter exit);
+* :func:`leaked_segments` scans ``/dev/shm`` for this module's name
+  prefix so tests (and CI) can assert that no segment survives a run.
+"""
+
+from __future__ import annotations
+
+# repro-lint: disable-file=R001,R002 — OS resource bookkeeping: the loops
+# here run over O(#segments) handles (a handful per kernel call), not
+# graph-sized data, and segment close/unlink order cannot reach any
+# algorithmic output (names are unordered OS resources).
+
+import itertools
+import os
+import secrets
+from multiprocessing import shared_memory
+from typing import Iterator, NamedTuple
+
+import numpy as np
+
+__all__ = [
+    "ShmRef",
+    "ShmArena",
+    "attach_ref",
+    "leaked_segments",
+    "SEGMENT_PREFIX",
+]
+
+#: every segment name starts with this, so a leak scan over /dev/shm can
+#: attribute segments to this module (and to a pid) unambiguously
+SEGMENT_PREFIX = "repro-shm"
+
+_counter = itertools.count()
+
+
+def _segment_name() -> str:
+    """A fresh, collision-free segment name carrying our prefix + pid."""
+    return (
+        f"{SEGMENT_PREFIX}-{os.getpid()}-{next(_counter)}-"
+        f"{secrets.token_hex(4)}"
+    )
+
+
+class ShmRef(NamedTuple):
+    """Picklable descriptor of one shared array (what task pipes carry)."""
+
+    name: str
+    shape: tuple
+    dtype: str
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.dtype(self.dtype).itemsize * max(1, int(np.prod(self.shape, dtype=np.int64))))
+
+
+def _view(shm: shared_memory.SharedMemory, ref: ShmRef) -> np.ndarray:
+    return np.ndarray(ref.shape, dtype=np.dtype(ref.dtype), buffer=shm.buf)
+
+
+def _untrack(shm: shared_memory.SharedMemory) -> None:
+    """Drop ``shm`` from the resource tracker (owner manages the name).
+
+    CPython registers every ``SharedMemory`` with a per-process resource
+    tracker that unlinks "leaked" segments at exit. Attach-side mappings
+    must not do that — the owning arena unlinks exactly once — so we
+    deregister. (Python 3.13 exposes ``track=False`` for this; this is
+    the documented workaround for 3.11/3.12.)
+    """
+    try:  # pragma: no cover - depends on interpreter internals
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+
+
+def attach_ref(ref: ShmRef) -> tuple[shared_memory.SharedMemory, np.ndarray]:
+    """Attach to an existing segment; caller must ``close()`` the handle.
+
+    Never unlinks: the arena that created the segment owns the name.
+    """
+    shm = shared_memory.SharedMemory(name=ref.name)
+    _untrack(shm)
+    return shm, _view(shm, ref)
+
+
+class ShmArena:
+    """Owner of a set of named shared-memory numpy arrays.
+
+    Typical use (one arena per tiled kernel call)::
+
+        with ShmArena() as arena:
+            arena.put("xs", xs)                      # copy in, once
+            out = arena.empty("out", xs.shape, xs.dtype)
+            pool.run([...tasks referencing arena.ref("xs"), ...])
+            result = out.copy()                      # copy out, once
+        # segments closed AND unlinked here, even on exception
+    """
+
+    def __init__(self) -> None:
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+        self._refs: dict[str, ShmRef] = {}
+        self._views: dict[str, np.ndarray] = {}
+        self._closed = False
+        self._unlinked = False
+
+    # -- publishing ----------------------------------------------------
+    def empty(self, key: str, shape, dtype) -> np.ndarray:
+        """Allocate an uninitialized shared array under ``key``."""
+        if self._closed:
+            raise ValueError("arena is closed")
+        if key in self._segments:
+            raise KeyError(f"arena key {key!r} already in use")
+        shp = (int(shape),) if np.isscalar(shape) else tuple(int(s) for s in shape)
+        ref = ShmRef(_segment_name(), shp, np.dtype(dtype).str)
+        shm = shared_memory.SharedMemory(
+            name=ref.name, create=True, size=ref.nbytes
+        )
+        self._segments[key] = shm
+        self._refs[key] = ref
+        self._views[key] = _view(shm, ref)
+        return self._views[key]
+
+    def full(self, key: str, shape, dtype, fill) -> np.ndarray:
+        """Allocate a shared array filled with ``fill``."""
+        out = self.empty(key, shape, dtype)
+        out[...] = fill
+        return out
+
+    def put(self, key: str, array) -> np.ndarray:
+        """Copy ``array`` into a fresh shared segment; return the view."""
+        arr = np.ascontiguousarray(array)
+        out = self.empty(key, arr.shape, arr.dtype)
+        out[...] = arr
+        return out
+
+    # -- access --------------------------------------------------------
+    def ref(self, key: str) -> ShmRef:
+        """The picklable descriptor for ``key`` (what tasks ship)."""
+        return self._refs[key]
+
+    def view(self, key: str) -> np.ndarray:
+        """The parent-side numpy view of ``key``."""
+        return self._views[key]
+
+    def keys(self) -> Iterator[str]:
+        return iter(self._refs)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._refs
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        """Release the local mappings (idempotent; keeps the names)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._views.clear()
+        for shm in self._segments.values():
+            try:
+                shm.close()
+            except OSError:  # pragma: no cover - already released
+                pass
+
+    def unlink(self) -> None:
+        """Close and remove every segment name from the OS (idempotent)."""
+        self.close()
+        if self._unlinked:
+            return
+        self._unlinked = True
+        for shm in self._segments.values():
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._segments.clear()
+        self._refs.clear()
+
+    def __enter__(self) -> "ShmArena":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.unlink()
+
+    def __del__(self) -> None:  # pragma: no cover - gc timing dependent
+        try:
+            self.unlink()
+        except Exception:
+            pass
+
+
+def leaked_segments(prefix: str = SEGMENT_PREFIX, pid: int | None = None) -> list[str]:
+    """Names under ``/dev/shm`` carrying ``prefix`` (this pid by default).
+
+    Returns ``[]`` on platforms without a scannable ``/dev/shm``; tests
+    gate on that. Pass ``pid=0`` to scan every pid's segments.
+    """
+    shm_dir = "/dev/shm"
+    if not os.path.isdir(shm_dir):  # pragma: no cover - non-Linux
+        return []
+    want = f"{prefix}-{os.getpid() if pid is None else pid}-" if pid != 0 else f"{prefix}-"
+    try:
+        names = os.listdir(shm_dir)
+    except OSError:  # pragma: no cover - permissions
+        return []
+    return sorted(n for n in names if n.startswith(want))

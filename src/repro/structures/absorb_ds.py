@@ -42,7 +42,12 @@ from heapq import heappop, heappush
 from typing import Iterable, Sequence
 
 from ..graph.graph import Graph
-from ..kernels.dispatch import get_kernel, register_kernel, resolve_backend
+from ..kernels.dispatch import (
+    get_kernel,
+    is_array_backend,
+    register_kernel,
+    resolve_backend,
+)
 from ..obs.runtime import metrics as _obs_metrics
 from ..pram.tracker import Tracker
 from .hdt import HDTConnectivity
@@ -235,7 +240,7 @@ class AbsorptionStructure:
         # absorbed vertex id — a scatter-max independent of the iteration
         # order of the incident sets.
         neighbor_updates: dict[int, tuple[int, int]] = {}
-        use_np = self.kernel_backend == "numpy" and len(dead) > 1
+        use_np = is_array_backend(self.kernel_backend) and len(dead) > 1
         trip_nb: list[int] = []
         trip_d: list[int] = []
         trip_v: list[int] = []

@@ -41,7 +41,7 @@ from typing import Sequence
 
 from ..graph.graph import Graph
 from ..graph.connectivity import spanning_forest
-from ..kernels.dispatch import resolve_backend
+from ..kernels.dispatch import is_array_backend, resolve_backend
 from ..obs import runtime as obs
 from ..pram.tracker import Tracker
 from .euler_tour import EulerTourForest
@@ -108,7 +108,7 @@ class HDTConnectivity:
 
         t = self.t
         _, forest = spanning_forest(g, t, backend=self.kernel_backend)
-        if self.kernel_backend == "numpy":
+        if is_array_backend(self.kernel_backend):
             self._init_numpy(g, forest)
             return
         in_forest = [False] * g.m

@@ -47,7 +47,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from ..kernels.dispatch import resolve_backend
+from ..kernels.dispatch import is_array_backend
 from ..obs.runtime import metrics as _obs_metrics
 from ..pram.tracker import Tracker
 
@@ -191,7 +191,7 @@ class RCForest:
         #: one vectorized batch on first use (bit-identical to _coin; the
         #: hash is fixed per (vertex, level), so caching rows is exact)
         self._coin_rows: dict[int, object] | None = (
-            {} if resolve_backend(kernel_backend) == "numpy" else None
+            {} if is_array_backend(kernel_backend) else None
         )
         self.clusters: dict[int, Cluster] = {}
         self._next_cid = n  # 0..n-1 reserved for vertex base clusters

@@ -1,0 +1,318 @@
+"""The ``parallel`` kernel backend: pool, config, identity, Brent math.
+
+Four layers are pinned here:
+
+* configuration — ``REPRO_WORKERS`` / ``REPRO_PAR_MIN`` parsing rejects
+  garbage loudly (a silent fallback would bench the wrong width) and
+  ``default_workers`` caps at the physical core count;
+* the :class:`WorkerPool` substrate — task-order results, worker
+  tracebacks surfacing as parent exceptions, idempotent shutdown, and a
+  spawn-start-method smoke (CI runs the suite with
+  ``-p no:cacheprovider`` so pool workers never race on pytest's cache);
+* byte-identity — with the serial-fallback threshold forced to 0 and a
+  2-worker pool, every tiled kernel must return exactly what its numpy
+  twin returns *and* charge the tracker identically, all the way up to
+  ``parallel_dfs`` producing an identical tree;
+* the Brent-envelope math in ``analysis/brent.py`` — calibration,
+  ``p_eff`` capping at the core count, and the slack-relaxed verdict.
+
+Every pool test ends with a ``leaked_segments()`` sweep.
+"""
+
+import os
+import random
+
+import numpy as np
+import pytest
+
+from repro.analysis.brent import (
+    calibrate,
+    check_envelope,
+    envelope_report,
+    format_report,
+)
+from repro.core.dfs import parallel_dfs
+from repro.graph.generators import gnm_random_connected_graph
+from repro.kernels import scan as kscan
+from repro.kernels import tiling
+from repro.kernels.components import connected_components_np
+from repro.kernels.listrank import wyllie_ranks
+from repro.kernels.matching import maximal_matching_np
+from repro.pram import Tracker
+from repro.pram.executor import (
+    WorkerPool,
+    default_workers,
+    get_pool,
+    shutdown_pool,
+)
+from repro.pram.shm import ShmArena, leaked_segments
+
+CORES = os.cpu_count() or 1
+
+
+@pytest.fixture
+def forced_pool():
+    """Threshold 0 + a 2-worker global pool: every kernel call dispatches."""
+    tiling.set_parallel_threshold(0)
+    try:
+        yield get_pool(2)
+    finally:
+        tiling.set_parallel_threshold(None)
+        shutdown_pool()
+    assert not leaked_segments(), "shared-memory segments leaked"
+
+
+# ----------------------------------------------------------------------
+# Configuration parsing
+# ----------------------------------------------------------------------
+
+def test_default_workers_unset(monkeypatch):
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+    assert default_workers() == min(8, CORES)
+
+
+def test_default_workers_valid(monkeypatch):
+    monkeypatch.setenv("REPRO_WORKERS", "1")
+    assert default_workers() == 1
+
+
+def test_default_workers_caps_at_cores(monkeypatch):
+    monkeypatch.setenv("REPRO_WORKERS", "9999")
+    assert default_workers() == CORES
+
+
+@pytest.mark.parametrize("bad", ["abc", "2.5", " ", "0x4"])
+def test_default_workers_rejects_non_integer(monkeypatch, bad):
+    monkeypatch.setenv("REPRO_WORKERS", bad)
+    with pytest.raises(ValueError, match="REPRO_WORKERS"):
+        default_workers()
+
+
+@pytest.mark.parametrize("bad", ["0", "-3"])
+def test_default_workers_rejects_non_positive(monkeypatch, bad):
+    monkeypatch.setenv("REPRO_WORKERS", bad)
+    with pytest.raises(ValueError, match="REPRO_WORKERS"):
+        default_workers()
+
+
+def test_parallel_threshold_env(monkeypatch):
+    monkeypatch.setenv("REPRO_PAR_MIN", "123")
+    assert tiling.parallel_threshold() == 123
+    monkeypatch.setenv("REPRO_PAR_MIN", "junk")
+    with pytest.raises(ValueError, match="REPRO_PAR_MIN"):
+        tiling.parallel_threshold()
+
+
+def test_parallel_threshold_override_wins(monkeypatch):
+    monkeypatch.setenv("REPRO_PAR_MIN", "123")
+    tiling.set_parallel_threshold(7)
+    try:
+        assert tiling.parallel_threshold() == 7
+    finally:
+        tiling.set_parallel_threshold(None)
+    assert tiling.parallel_threshold() == 123
+
+
+# ----------------------------------------------------------------------
+# WorkerPool substrate
+# ----------------------------------------------------------------------
+
+def test_pool_results_in_task_order():
+    xs = np.arange(100, dtype=np.int64)
+    with ShmArena() as arena, WorkerPool(2) as pool:
+        arena.put("xs", xs)
+        ref = arena.ref("xs")
+        tasks = [
+            ("repro.kernels.tiling:_tile_sum", {"xs": ref, "lo": i, "hi": i + 10})
+            for i in range(0, 100, 10)
+        ]
+        got = pool.run(tasks)
+    assert got == [int(xs[i : i + 10].sum()) for i in range(0, 100, 10)]
+    assert not leaked_segments()
+
+
+def test_pool_surfaces_worker_traceback():
+    xs = np.arange(4, dtype=np.int64)
+    with ShmArena() as arena, WorkerPool(2) as pool:
+        arena.put("xs", xs)
+        ref = arena.ref("xs")
+        bad = ("repro.kernels.tiling:_tile_sum", {"xs": ref, "bogus": 1})
+        with pytest.raises(RuntimeError, match="worker task failed"):
+            pool.run([bad])
+        # the pool survives a failed task and keeps serving
+        ok = pool.run(
+            [("repro.kernels.tiling:_tile_sum", {"xs": ref, "lo": 0, "hi": 4})]
+        )
+        assert ok == [6]
+    assert not leaked_segments()
+
+
+def test_pool_close_idempotent_and_rejects_after_close():
+    pool = WorkerPool(1)
+    pool.close()
+    pool.close()
+    with pytest.raises(ValueError, match="closed"):
+        pool.run([("repro.kernels.tiling:_tile_sum", {})])
+
+
+def test_pool_empty_batch():
+    with WorkerPool(1) as pool:
+        assert pool.run([]) == []
+
+
+def test_pool_spawn_start_method():
+    xs = np.arange(16, dtype=np.int64)
+    with ShmArena() as arena, WorkerPool(1, start_method="spawn") as pool:
+        arena.put("xs", xs)
+        got = pool.run(
+            [
+                (
+                    "repro.kernels.tiling:_tile_sum",
+                    {"xs": arena.ref("xs"), "lo": 0, "hi": 16},
+                )
+            ]
+        )
+    assert got == [120]
+    assert not leaked_segments()
+
+
+def test_get_pool_recreates_on_width_change():
+    try:
+        p2 = get_pool(2)
+        assert p2.width == 2
+        assert get_pool() is p2  # unspecified width reuses
+        p1 = get_pool(1)
+        assert p1.width == 1 and p1 is not p2
+    finally:
+        shutdown_pool()
+        shutdown_pool()  # idempotent
+
+
+# ----------------------------------------------------------------------
+# Byte-identity through the genuine pool-dispatch path
+# ----------------------------------------------------------------------
+
+def test_scan_identity_under_pool(forced_pool):
+    rng = np.random.default_rng(7)
+    xs = rng.integers(-50, 50, size=257).astype(np.int64)
+    t_np, t_par = Tracker(), Tracker()
+    want = kscan.exclusive_scan(t_np, xs)
+    got = tiling.exclusive_scan_par(t_par, xs)
+    np.testing.assert_array_equal(got, want)
+    assert t_par.snapshot() == t_np.snapshot()
+
+
+def test_wyllie_identity_under_pool(forced_pool):
+    rng = np.random.default_rng(8)
+    perm = rng.permutation(300)
+    prev = np.full(300, -1, dtype=np.int64)
+    prev[perm[1:]] = perm[:-1]
+    vals = rng.integers(1, 9, size=300).astype(np.int64)
+    t_np, t_par = Tracker(), Tracker()
+    want = wyllie_ranks(prev, vals, t_np)
+    got = tiling.wyllie_ranks_par(prev, vals, t_par)
+    np.testing.assert_array_equal(got, want)
+    assert t_par.snapshot() == t_np.snapshot()
+
+
+def test_components_identity_under_pool(forced_pool):
+    g = gnm_random_connected_graph(400, 900, seed=9)
+    t_np, t_par = Tracker(), Tracker()
+    assert tiling.connected_components_par(g, t_par) == connected_components_np(
+        g, t_np
+    )
+    assert t_par.snapshot() == t_np.snapshot()
+
+
+def test_matching_identity_under_pool(forced_pool):
+    g = gnm_random_connected_graph(300, 700, seed=10)
+    t_np, t_par = Tracker(), Tracker()
+    want = maximal_matching_np(t_np, g.n, g.edges, random.Random(3))
+    got = tiling.maximal_matching_par(t_par, g.n, g.edges, random.Random(3))
+    assert got == want
+    assert t_par.snapshot() == t_np.snapshot()
+
+
+def test_parallel_dfs_identity_under_pool(forced_pool):
+    g = gnm_random_connected_graph(400, 900, seed=11)
+    ref = parallel_dfs(g, 0, rng=random.Random(5), kernel_backend="tracked")
+    got = parallel_dfs(g, 0, rng=random.Random(5), kernel_backend="parallel")
+    assert (got.parent, got.depth) == (ref.parent, ref.depth)
+
+
+def test_serial_fallback_below_threshold():
+    """Small inputs never touch the pool — identical results regardless."""
+    xs = np.arange(50, dtype=np.int64)
+    t1, t2 = Tracker(), Tracker()
+    np.testing.assert_array_equal(
+        tiling.exclusive_scan_par(t1, xs), kscan.exclusive_scan(t2, xs)
+    )
+    assert t1.snapshot() == t2.snapshot()
+    assert not leaked_segments()
+
+
+# ----------------------------------------------------------------------
+# Brent-envelope math
+# ----------------------------------------------------------------------
+
+def test_calibrate_and_validation():
+    assert calibrate(2.0, 1_000_000) == pytest.approx(2e-6)
+    with pytest.raises(ValueError, match="work"):
+        calibrate(1.0, 0)
+    with pytest.raises(ValueError, match="serial time"):
+        calibrate(0.0, 100)
+
+
+def test_check_envelope_p_eff_caps_at_cores():
+    v = check_envelope(
+        "scan", p=8, work=1000, span=10, t_measured=1.0, c=1e-3, cpu_count=4
+    )
+    assert v.p == 8 and v.p_eff == 4
+    # envelope evaluated at p_eff=4: lower = c*max(W/4, D) = 0.25
+    assert v.t_lower == pytest.approx(0.25)
+    assert v.t_upper == pytest.approx(4.0 * 1e-3 * (1000 / 4 + 10))
+
+
+def test_check_envelope_verdicts():
+    kw = dict(work=1000, span=10, c=1e-3, cpu_count=2, slack=2.0)
+    lo = 1e-3 * max(1000 / 2, 10)  # 0.5
+    hi = 2.0 * 1e-3 * (1000 / 2 + 10)  # 1.02
+    assert check_envelope("k", 2, t_measured=lo, **kw).ok
+    assert check_envelope("k", 2, t_measured=hi, **kw).ok
+    # slack relaxes the lower bound too: lo/slack is still inside
+    assert check_envelope("k", 2, t_measured=lo / 2.0, **kw).ok
+    assert not check_envelope("k", 2, t_measured=lo / 10, **kw).ok
+    assert not check_envelope("k", 2, t_measured=hi * 2, **kw).ok
+
+
+def test_envelope_report_per_phase_calibration():
+    phases = {"a": (1000, 10), "b": (2000, 20)}
+    timings = {
+        "a": {1: 1.0, 2: 0.6},
+        "b": {1: 4.0, 2: 2.5},
+        "ghost": {2: 1.0},  # no tracked work: skipped
+    }
+    vs = envelope_report(phases, timings, cpu_count=2)
+    assert [(v.phase, v.p) for v in vs] == [("a", 1), ("a", 2), ("b", 1), ("b", 2)]
+    assert all(v.ok for v in vs)
+    # p=1 verdicts are self-calibrated, hence exactly on the lower edge
+    assert vs[0].t_measured == pytest.approx(vs[0].t_lower)
+    txt = format_report(vs)
+    assert "in-envelope" in txt and "phase" in txt
+
+
+def test_envelope_report_skips_uncalibratable_phase():
+    # no p=1 timing and no t1_total: nothing to calibrate against
+    assert envelope_report({"a": (100, 5)}, {"a": {2: 0.5}}) == []
+    # with a t1_total fallback the phase is calibrated from the pipeline
+    vs = envelope_report(
+        {"a": (100, 5)}, {"a": {2: 0.5}}, t1_total=1.0, cpu_count=2
+    )
+    assert len(vs) == 1 and vs[0].p == 2
+
+
+def test_speedup_bound_property():
+    v = check_envelope(
+        "k", p=4, work=1000, span=10, t_measured=0.5, c=1e-3, cpu_count=4
+    )
+    assert v.speedup_bound == pytest.approx(1000 / max(1000 / 4, 10))

@@ -1,0 +1,114 @@
+"""Lifecycle tests for the shared-memory arena (``repro.pram.shm``).
+
+The arena is the zero-copy transport for the parallel kernel backend:
+the parent publishes numpy arrays into POSIX shared memory, workers
+attach read-only views by name, and the *owner* is solely responsible
+for unlinking. These tests pin the lifecycle invariants the backend
+depends on — create/attach round-trips, idempotent close, unlink under
+exceptions via the context manager — and end every case with a
+``leaked_segments()`` sweep so a regression shows up as a named
+``/dev/shm`` entry, not a slow host.
+"""
+
+import numpy as np
+import pytest
+
+from repro.pram.shm import ShmArena, ShmRef, attach_ref, leaked_segments
+
+
+@pytest.fixture(autouse=True)
+def _no_leaks():
+    assert not leaked_segments(), "pre-existing repro-shm segments"
+    yield
+    assert not leaked_segments(), "test leaked shared-memory segments"
+
+
+def test_put_ref_view_roundtrip():
+    xs = np.arange(100, dtype=np.int64)
+    with ShmArena() as a:
+        a.put("xs", xs)
+        ref = a.ref("xs")
+        assert isinstance(ref, ShmRef)
+        assert ref.shape == (100,)
+        np.testing.assert_array_equal(a.view("xs"), xs)
+        # the arena holds a copy: mutating the source must not alias
+        xs[0] = -1
+        assert a.view("xs")[0] == 0
+
+
+def test_attach_ref_sees_owner_writes():
+    with ShmArena() as a:
+        a.put("v", np.zeros(8, dtype=np.int64))
+        ref = a.ref("v")
+        seg, view = attach_ref(ref)
+        try:
+            a.view("v")[3] = 42
+            assert view[3] == 42  # same physical pages, not a copy
+        finally:
+            del view
+            seg.close()
+
+
+def test_empty_and_contains_and_keys():
+    with ShmArena() as a:
+        assert "xs" not in a
+        a.put("xs", np.ones(4, dtype=np.int64))
+        a.put("ys", np.zeros(2, dtype=np.float64))
+        assert "xs" in a and "ys" in a
+        assert sorted(a.keys()) == ["xs", "ys"]
+
+
+def test_dtype_and_shape_preserved():
+    arrs = {
+        "i8": np.arange(6, dtype=np.int8),
+        "f64": np.linspace(0, 1, 7),
+        "mat": np.arange(12, dtype=np.int64).reshape(3, 4),
+        "empty": np.empty(0, dtype=np.int64),
+    }
+    with ShmArena() as a:
+        for k, v in arrs.items():
+            a.put(k, v)
+        for k, v in arrs.items():
+            got = a.view(k)
+            assert got.dtype == v.dtype and got.shape == v.shape
+            np.testing.assert_array_equal(got, v)
+
+
+def test_context_manager_unlinks_on_exception():
+    with pytest.raises(RuntimeError, match="boom"):
+        with ShmArena() as a:
+            a.put("xs", np.arange(10, dtype=np.int64))
+            assert leaked_segments()  # live while the arena is open
+            raise RuntimeError("boom")
+    assert not leaked_segments()
+
+
+def test_double_close_and_unlink_idempotent():
+    a = ShmArena()
+    a.put("xs", np.arange(4, dtype=np.int64))
+    a.close()
+    a.close()  # second close is a no-op, not an error
+    a.unlink()
+    a.unlink()
+
+
+def test_unlink_without_put_is_safe():
+    a = ShmArena()
+    a.unlink()
+
+
+def test_missing_key_raises():
+    with ShmArena() as a:
+        with pytest.raises(KeyError):
+            a.view("nope")
+        with pytest.raises(KeyError):
+            a.ref("nope")
+
+
+def test_leaked_segments_names_the_segment():
+    a = ShmArena()
+    a.put("xs", np.arange(4, dtype=np.int64))
+    leaks = leaked_segments()
+    assert leaks, "open arena segment should be visible"
+    a.unlink()
+    assert not leaked_segments()
