@@ -10,8 +10,8 @@ claimed bounds); wall-clock numbers reported by pytest-benchmark time the
 simulation, not the algorithm, and are used only in E14.
 
 Alongside the human-readable tables, the harness maintains one
-machine-readable ledger, ``results/BENCH_PR7.json`` (one file per PR;
-earlier numbers stay frozen in ``BENCH_PR1.json``..``BENCH_PR6.json``):
+machine-readable ledger, ``results/BENCH_PR8.json`` (one file per PR;
+earlier numbers stay frozen in ``BENCH_PR1.json``..``BENCH_PR7.json``):
 every benchmark test
 gets its wall-clock seconds *and peak RSS* recorded automatically, and
 experiments that
@@ -36,7 +36,7 @@ import time
 import pytest
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
-BENCH_JSON = os.path.join(RESULTS_DIR, "BENCH_PR7.json")
+BENCH_JSON = os.path.join(RESULTS_DIR, "BENCH_PR8.json")
 
 _git_sha: str | None = None
 
@@ -90,7 +90,7 @@ def publish_json(name: str, record: dict) -> None:
 def publish(name: str, text: str, data: dict | None = None) -> None:
     """Print an experiment's table and persist it under results/.
 
-    ``data``, when given, is merged into ``BENCH_PR7.json`` under the
+    ``data``, when given, is merged into ``BENCH_PR8.json`` under the
     experiment's name — use it for the tracked work/span numbers the
     text table reports, so regressions are diffable by machine.
     """

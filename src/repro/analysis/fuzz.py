@@ -12,7 +12,7 @@ and cross-checks the results against each other and against brute-force
 oracles (:mod:`repro.core.verify` for trees, a dict/set reference model
 for the structure).
 
-Two kinds of cases:
+Three kinds of cases:
 
 * **DFS cases** (:func:`check_dfs_case`) — a full ``parallel_dfs`` run on
   a random family instance under both backends: identical parent/depth
@@ -35,6 +35,17 @@ Two kinds of cases:
   *abstract* (indices modulo the alive set), so any integer tuple list
   is a valid case — which is what lets the hypothesis wrappers in
   ``tests/fuzz/`` shrink counterexamples.
+
+* **Service cases** (:func:`check_service_case`) — a random schedule of
+  edge mutation batches and DFS queries replayed through the service's
+  resident-graph layer (:class:`~repro.service.store.ResidentGraph`:
+  component-stamp cache + incremental HDT maintenance of
+  :mod:`repro.service.dynamic`, at rebuild_fraction 0.0 / 0.25 / 1.0 to
+  force the full-rebuild, mixed, and always-incremental paths) against a
+  full recompute: every query's canonical tree bytes must equal a fresh
+  ``parallel_dfs`` on ``Graph(n, sorted(edges))`` — the service lockstep
+  contract (docs/service.md) — with mutation counters monotone and the
+  maintenance invariants intact at the end.
 
 CLI (used by CI with a fixed seed and a ~30 s budget)::
 
@@ -63,6 +74,7 @@ __all__ = [
     "NaiveAbsorptionModel",
     "check_dfs_case",
     "check_ops_case",
+    "check_service_case",
     "make_ops",
     "run",
     "main",
@@ -378,6 +390,155 @@ def check_ops_case(g: Graph, ops: Sequence[tuple]) -> None:
 
 
 # ----------------------------------------------------------------------
+# Service cases: incremental maintenance vs full recompute
+# ----------------------------------------------------------------------
+
+#: kernel backends the service cases run under (the parallel column is
+#: covered by the service load/stateful tests; fuzz keeps the per-case
+#: cost down so CI reaches its min-case floor inside the budget)
+_SERVICE_BACKENDS = ("tracked", "numpy")
+
+#: rebuild_fraction values exercised: 0.0 forces every batch through the
+#: full-rebuild path (global invalidation), 1.0 forces every batch
+#: through the incremental HDT path, 0.25 is the service default mix
+_SERVICE_FRACTIONS = (0.0, 0.25, 1.0)
+
+
+def _service_union(
+    family: str, n: int, parts: int, graph_seed: int
+) -> tuple[int, list[tuple[int, int]]]:
+    """Disjoint union of ``parts`` family instances.
+
+    Multi-component resident state is the interesting regime: the
+    component-stamp cache must keep serving untouched components
+    byte-identically across mutations of the others.
+    """
+    edges: list[tuple[int, int]] = []
+    total = 0
+    for k in range(parts):
+        g = make_family(family, n, seed=graph_seed + k)
+        edges.extend((u + total, v + total) for u, v in g.edges)
+        total += g.n
+    return total, edges
+
+
+def check_service_case(
+    family: str,
+    n: int,
+    parts: int,
+    graph_seed: int,
+    sched_seed: int,
+    steps: int,
+    rebuild_fraction: float,
+) -> None:
+    """One service differential case; raises AssertionError on divergence.
+
+    Replays one random mutation/query schedule through a
+    :class:`~repro.service.store.ResidentGraph` per kernel backend
+    (lookup -> compute -> install, exactly the server's split) while a
+    plain edge-set model tracks the canonical graph state.  Every query
+    must be byte-identical to a fresh ``parallel_dfs`` on the model
+    state, whether it was served from cache or recomputed.
+    """
+    from ..service import protocol
+    from ..service.store import ResidentGraph
+
+    total, edges = _service_union(family, n, parts, graph_seed)
+    rng = random.Random(sched_seed)
+    model: set[tuple[int, int]] = {
+        (u, v) if u <= v else (v, u) for u, v in edges
+    }
+    rgs = {
+        kb: ResidentGraph(
+            "fuzz",
+            total,
+            sorted(model),
+            kernel_backend=kb,
+            rebuild_fraction=rebuild_fraction,
+        )
+        for kb in _SERVICE_BACKENDS
+    }
+    mutations_seen = {kb: rg.dyn.mutations for kb, rg in rgs.items()}
+
+    def query(root: int, seed: int) -> None:
+        g_oracle = Graph(total, sorted(model))
+        for kb, rg in rgs.items():
+            cached = rg.lookup(root, seed)
+            if cached is None:
+                tree = rg.compute(root, seed)
+                rg.install(root, seed, tree)
+            else:
+                tree = cached
+            res = parallel_dfs(
+                g_oracle,
+                root,
+                rng=random.Random(seed),
+                backend=rg.structure,
+                kernel_backend=kb,
+            )
+            want = protocol.tree_payload(res.root, res.parent, res.depth)
+            got_b = protocol.tree_bytes(tree)
+            want_b = protocol.tree_bytes(want)
+            assert got_b == want_b, (
+                f"service tree diverges from fresh recompute "
+                f"[{kb}, cached={cached is not None}] root={root} "
+                f"seed={seed} mutations={rg.dyn.mutations}: "
+                f"{got_b[:120]!r} != {want_b[:120]!r}"
+            )
+
+    def mutate() -> None:
+        insert: set[tuple[int, int]] = set()
+        delete: set[tuple[int, int]] = set()
+        for _ in range(rng.randrange(1, 5)):
+            u = rng.randrange(total)
+            v = rng.randrange(total)
+            if u == v:
+                continue
+            key = (u, v) if u <= v else (v, u)
+            # membership decides the role, so insert/delete never conflict
+            (delete if key in model else insert).add(key)
+        reports = {}
+        for kb, rg in rgs.items():
+            reports[kb] = rg.dyn.apply_batch(
+                insert=sorted(insert), delete=sorted(delete)
+            )
+            assert rg.dyn.mutations >= mutations_seen[kb], (
+                f"mutation counter went backwards [{kb}]"
+            )
+            if insert or delete:
+                assert rg.dyn.mutations > mutations_seen[kb], (
+                    f"non-empty batch did not advance the counter [{kb}]"
+                )
+            mutations_seen[kb] = rg.dyn.mutations
+        model.difference_update(delete)
+        model.update(insert)
+        # both backends hold the same HDT state -> identical reports
+        views = {
+            kb: (r.mode, r.inserted, r.deleted, r.affected)
+            for kb, r in reports.items()
+        }
+        vals = list(views.values())
+        assert all(v == vals[0] for v in vals), (
+            f"maintenance reports diverge across backends: {views}"
+        )
+        for kb, rg in rgs.items():
+            assert sorted(rg.dyn.edge_pairs()) == sorted(model), (
+                f"edge set diverges from model [{kb}]"
+            )
+
+    # prime the cache so later queries exercise hits across mutations
+    query(rng.randrange(total), rng.randrange(4))
+    for _ in range(steps):
+        if rng.random() < 0.55:
+            query(rng.randrange(total), rng.randrange(4))
+        else:
+            mutate()
+    query(rng.randrange(total), rng.randrange(4))
+    for rg in rgs.values():
+        rg.dyn.check_invariants()
+
+
+# ----------------------------------------------------------------------
 # budgeted runner / CLI
 # ----------------------------------------------------------------------
 
@@ -387,6 +548,7 @@ def run(
     max_cases: int | None = None,
     min_cases: int = 0,
     dfs_fraction: float = 0.35,
+    service_fraction: float = 0.15,
     verbose: bool = False,
 ) -> dict:
     """Fuzz until the time budget is spent (and ``min_cases`` reached).
@@ -399,6 +561,7 @@ def run(
     cases = 0
     dfs_cases = 0
     ops_cases = 0
+    service_cases = 0
     failures: list[tuple[dict, str]] = []
     while True:
         elapsed = time.perf_counter() - t0
@@ -406,7 +569,8 @@ def run(
             break
         if elapsed >= budget and cases >= min_cases:
             break
-        if rng.random() < dfs_fraction:
+        draw = rng.random()
+        if draw < dfs_fraction:
             params = {
                 "kind": "dfs",
                 "family": rng.choice(FUZZ_FAMILIES),
@@ -423,6 +587,26 @@ def run(
             except AssertionError as exc:
                 failures.append((params, str(exc)))
             dfs_cases += 1
+        elif draw < dfs_fraction + service_fraction:
+            params = {
+                "kind": "service",
+                "family": rng.choice(FUZZ_FAMILIES),
+                "n": rng.randrange(8, 25),
+                "parts": rng.randrange(1, 4),
+                "graph_seed": rng.randrange(1 << 16),
+                "sched_seed": rng.randrange(1 << 16),
+                "steps": rng.randrange(3, 9),
+                "rebuild_fraction": rng.choice(_SERVICE_FRACTIONS),
+            }
+            try:
+                check_service_case(
+                    params["family"], params["n"], params["parts"],
+                    params["graph_seed"], params["sched_seed"],
+                    params["steps"], params["rebuild_fraction"],
+                )
+            except AssertionError as exc:
+                failures.append((params, str(exc)))
+            service_cases += 1
         else:
             params = {
                 "kind": "ops",
@@ -446,7 +630,8 @@ def run(
         cases += 1
         if verbose and cases % 100 == 0:
             print(
-                f"  ... {cases} cases ({dfs_cases} dfs / {ops_cases} ops), "
+                f"  ... {cases} cases ({dfs_cases} dfs / {ops_cases} ops / "
+                f"{service_cases} service), "
                 f"{len(failures)} failures, {elapsed:.1f}s",
                 flush=True,
             )
@@ -454,6 +639,7 @@ def run(
         "cases": cases,
         "dfs_cases": dfs_cases,
         "ops_cases": ops_cases,
+        "service_cases": service_cases,
         "failures": failures,
         "elapsed": time.perf_counter() - t0,
         "seed": seed,
@@ -481,7 +667,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     print(
         f"fuzz: {summary['cases']} cases "
-        f"({summary['dfs_cases']} dfs, {summary['ops_cases']} ops), "
+        f"({summary['dfs_cases']} dfs, {summary['ops_cases']} ops, "
+        f"{summary['service_cases']} service), "
         f"{len(summary['failures'])} divergences, "
         f"{summary['elapsed']:.1f}s, seed={summary['seed']}"
     )

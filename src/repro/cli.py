@@ -13,6 +13,14 @@ Sweep sizes and print the scaling table (the E1/E2 view)::
 Self-check a batch of random instances against the DFS oracle::
 
     python -m repro selfcheck --trials 25 --max-n 120
+
+Run the DFS service and talk to it (docs/service.md)::
+
+    python -m repro serve --port 8765 --backend numpy
+    python -m repro client --port 8765 --op load --graph g \
+        --family gnm --n 1024 --seed 3
+    python -m repro client --port 8765 --op dfs --graph g --root 0
+    python -m repro client --port 8765 --op update --graph g --insert 1-2
 """
 
 from __future__ import annotations
@@ -159,6 +167,95 @@ def _cmd_selfcheck(args: argparse.Namespace) -> int:
     return 1 if bad else 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service import DFSService, ServiceConfig, ServiceServer
+
+    config = ServiceConfig(
+        kernel_backend=args.backend,
+        max_batch=args.max_batch,
+        executor_workers=args.workers,
+        rebuild_fraction=args.rebuild_fraction,
+        verify_every=args.verify_every,
+    )
+
+    async def run() -> None:
+        server = ServiceServer(DFSService(config), args.host, args.port)
+        await server.start()
+        host, port = server.address
+        print(
+            f"repro service listening on {host}:{port} "
+            f"(backend={config.kernel_backend}, "
+            f"max_batch={config.max_batch}, "
+            f"rebuild_fraction={config.rebuild_fraction})",
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("service stopped")
+    return 0
+
+
+def _parse_pairs(text: str) -> list[list[int]]:
+    """``"0-1,2-3"`` -> ``[[0, 1], [2, 3]]`` (client-side edge syntax)."""
+    pairs = []
+    for chunk in text.split(","):
+        u, sep, v = chunk.partition("-")
+        if not sep:
+            raise ValueError(f"bad edge {chunk!r}; expected u-v")
+        pairs.append([int(u), int(v)])
+    return pairs
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    import json
+
+    from .service.client import ServiceClient
+
+    if args.json is not None:
+        request = json.loads(args.json)
+    else:
+        if args.op is None:
+            print("client needs --op or --json", file=sys.stderr)
+            return 2
+        request = {"op": args.op}
+        if args.graph is not None:
+            request["graph"] = args.graph
+        if args.root is not None:
+            request["root"] = args.root
+        if args.family is not None:
+            request["family"] = args.family
+        if args.n is not None:
+            request["n"] = args.n
+        if args.seed is not None:
+            request["seed"] = args.seed
+        try:
+            if args.insert is not None:
+                request["insert"] = _parse_pairs(args.insert)
+            if args.delete is not None:
+                request["delete"] = _parse_pairs(args.delete)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+    with ServiceClient(args.host, args.port, timeout=args.timeout) as client:
+        response = client.request(request)
+    try:
+        print(json.dumps(response, sort_keys=True, indent=2))
+    except BrokenPipeError:
+        # Downstream pipe (e.g. `| head`) closed early; exit quietly.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 0 if response.get("ok") else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -205,6 +302,47 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-n", type=int, default=100)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=_cmd_selfcheck)
+
+    p = sub.add_parser(
+        "serve", help="run the DFS service (line-delimited JSON over TCP)"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8765,
+                   help="TCP port (0 = ephemeral, printed on startup)")
+    p.add_argument("--backend", choices=_KERNEL_BACKENDS, default="numpy",
+                   help="kernel engine resident graphs run on")
+    p.add_argument("--workers", type=int, default=None, metavar="N",
+                   help="executor threads for query batches")
+    p.add_argument("--max-batch", type=int, default=64,
+                   help="max requests coalesced per batch round")
+    p.add_argument("--rebuild-fraction", type=float, default=0.25,
+                   help="affected-region fraction above which an update "
+                        "batch falls back to full recompute")
+    p.add_argument("--verify-every", type=int, default=0, metavar="N",
+                   help="self-audit every Nth dfs response against a "
+                        "fresh recompute (0 = off)")
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "client", help="send one request to a running DFS service"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8765)
+    p.add_argument("--timeout", type=float, default=30.0)
+    p.add_argument("--json", default=None, metavar="REQ",
+                   help="raw JSON request (overrides the field flags)")
+    p.add_argument("--op", default=None,
+                   help="operation (ping/load/update/dfs/stats/graphs/drop)")
+    p.add_argument("--graph", default=None)
+    p.add_argument("--root", type=int, default=None)
+    p.add_argument("--family", default=None)
+    p.add_argument("--n", type=int, default=None)
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--insert", default=None, metavar="U-V,U-V",
+                   help="edges to insert, e.g. 0-1,2-3")
+    p.add_argument("--delete", default=None, metavar="U-V,U-V",
+                   help="edges to delete")
+    p.set_defaults(fn=_cmd_client)
 
     return parser
 

@@ -26,7 +26,15 @@ from .export import (
     write_chrome_trace,
     write_jsonl,
 )
-from .metrics import Counter, Gauge, Histogram, Metrics, NULL_METRICS, NullMetrics
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    Metrics,
+    NULL_METRICS,
+    NullMetrics,
+    Reservoir,
+)
 from .profile import PHASE_STAT_PREFIX, PhaseError, PhaseProfiler, phase_seconds
 from .runtime import (
     Observation,
@@ -52,6 +60,7 @@ __all__ = [
     "PHASE_STAT_PREFIX",
     "PhaseError",
     "PhaseProfiler",
+    "Reservoir",
     "Span",
     "Tracer",
     "activate",

@@ -32,6 +32,7 @@ __all__ = [
     "Metrics",
     "NullMetrics",
     "NULL_METRICS",
+    "Reservoir",
 ]
 
 
@@ -115,6 +116,88 @@ class Histogram:
         return f"Histogram({self.name}: {self.summary()})"
 
 
+class Reservoir:
+    """Quantile summary over a bounded, deterministically decimated sample.
+
+    The service tier needs tail latencies (p50/p99), which the O(1)
+    :class:`Histogram` cannot answer.  A :class:`Reservoir` keeps every
+    ``stride``-th observation, and whenever the retained sample would
+    exceed ``limit`` it drops every other retained value and doubles the
+    stride — a deterministic decimation (no RNG, so the instrument can
+    never perturb the byte-identical contract) that keeps the sample an
+    evenly spaced subsequence of the observation stream.  Memory is
+    O(limit); :meth:`quantile` sorts the retained sample on demand
+    (export-time cost, not hot-path cost).
+    """
+
+    __slots__ = ("name", "count", "total", "vmin", "vmax", "limit",
+                 "_stride", "_phase", "_sample")
+
+    def __init__(self, name: str, limit: int = 2048) -> None:
+        if limit < 2:
+            raise ValueError("reservoir limit must be >= 2")
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.vmin = 0.0
+        self.vmax = 0.0
+        self.limit = limit
+        self._stride = 1
+        self._phase = 0
+        self._sample: list[float] = []
+
+    def observe(self, v: int | float) -> None:
+        if self.count == 0:
+            self.vmin = self.vmax = v
+        else:
+            if v < self.vmin:
+                self.vmin = v
+            if v > self.vmax:
+                self.vmax = v
+        self.count += 1
+        self.total += v
+        self._phase += 1
+        if self._phase >= self._stride:
+            self._phase = 0
+            self._sample.append(v)
+            if len(self._sample) >= self.limit:
+                # decimate: keep every other retained value, double stride
+                self._sample = self._sample[::2]
+                self._stride *= 2
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """The q-quantile (0 <= q <= 1) of the retained sample.
+
+        Nearest-rank on the sorted sample; 0.0 when nothing was observed.
+        """
+        if not self._sample:
+            return 0.0
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        s = sorted(self._sample)
+        idx = min(len(s) - 1, max(0, int(round(q * (len(s) - 1)))))
+        return s[idx]
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": round(self.mean, 6),
+            "min": self.vmin,
+            "max": self.vmax,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+            "sampled": len(self._sample),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Reservoir({self.name}: {self.summary()})"
+
+
 class Metrics:
     """Registry handing out named instruments, memoized per name.
 
@@ -126,7 +209,7 @@ class Metrics:
     """
 
     def __init__(self) -> None:
-        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+        self._instruments: dict[str, Counter | Gauge | Histogram | Reservoir] = {}
 
     def _get(self, name: str, cls):
         inst = self._instruments.get(name)
@@ -148,6 +231,9 @@ class Metrics:
     def histogram(self, name: str) -> Histogram:
         return self._get(name, Histogram)
 
+    def reservoir(self, name: str) -> Reservoir:
+        return self._get(name, Reservoir)
+
     def as_dict(self) -> dict:
         """All instruments in sorted name order.
 
@@ -158,7 +244,7 @@ class Metrics:
         out: dict = {}
         for name in sorted(self._instruments):
             inst = self._instruments[name]
-            if isinstance(inst, Histogram):
+            if isinstance(inst, (Histogram, Reservoir)):
                 out[name] = inst.summary()
             else:
                 out[name] = inst.value

@@ -1,0 +1,52 @@
+"""Blocking TCP client for the DFS service (CLI + integration tests).
+
+Speaks the line-delimited JSON protocol of :mod:`repro.service.protocol`
+over one socket, request/response.  Deliberately synchronous and
+stdlib-only: the service's concurrency lives server-side; a client that
+wants pipelining opens more connections (or uses the in-process
+:class:`~repro.service.server.ServiceHandle`).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+from . import protocol
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """``with ServiceClient(host, port) as c: c.request({...})``."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8765, timeout: float = 30.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._rfile = self._sock.makefile("rb")
+
+    def close(self) -> None:
+        try:
+            self._rfile.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def request(self, req: dict) -> dict:
+        """Send one request, block for its response line."""
+        self._sock.sendall(protocol.encode(req))
+        line = self._rfile.readline(protocol.MAX_LINE + 1)
+        if not line:
+            raise ConnectionError("service closed the connection")
+        return json.loads(line)
+
+    def op(self, op: str, **fields) -> dict:
+        return self.request({"op": op, **fields})

@@ -1,0 +1,558 @@
+"""The asyncio DFS service: batching core, in-process handle, TCP server.
+
+Architecture (docs/service.md has the full picture)::
+
+    connections ──┐
+                  ├── asyncio.Queue ── batch loop ── worker executor
+    ServiceHandle ┘        │               │
+                           │               ├─ dfs groups: coalesced,
+                           │               │  cache-checked, computed
+                           │               │  concurrently on threads
+                           │               └─ updates/loads: barriers,
+                           │                  applied inline in order
+                           └── depth/batch/latency instruments (obs)
+
+Every request is enqueued with a future; the single batch loop drains
+the queue up to ``max_batch`` per round, splits the drained batch into
+*segments* — maximal runs of ``dfs`` queries, separated by barrier ops
+(``update``/``load``/``drop``) — and preserves arrival order across
+segments.  Within a dfs segment, requests for the same
+``(graph, root, seed)`` coalesce into one computation, cache probes are
+O(1) against the per-component stamps of
+:mod:`repro.service.dynamic`, and the distinct misses run concurrently
+on a :class:`~concurrent.futures.ThreadPoolExecutor` (the numpy/parallel
+backends release the GIL for the array phases; with
+``kernel_backend="parallel"`` the executor is pinned to one thread
+because the worker pool's pipe protocol is single-dispatcher).
+
+Failure containment: a compute error, a malformed request, or a client
+that vanishes mid-batch produces a structured error (or a dropped
+write) for *that* request only — resident graphs and caches are
+untouched because updates validate before mutating and computes are
+pure (docs/service.md "Fault model").
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from ..kernels.dispatch import resolve_backend
+from ..obs import runtime as obs
+from . import protocol
+from .protocol import ProtocolError
+from .store import GraphStore, ServiceError
+
+__all__ = ["DFSService", "ServiceConfig", "ServiceHandle", "ServiceServer"]
+
+
+@dataclass
+class ServiceConfig:
+    """Tuning knobs for one service instance."""
+
+    #: kernel execution engine for resident graphs ("tracked" | "numpy"
+    #: | "parallel"); numpy is the service default — the measured 5.56x
+    #: end-to-end engine (BENCH_PR6)
+    kernel_backend: str = "numpy"
+    #: Lemma 5.1 absorption structure (flat pairs with the array engines)
+    structure: str = "flat"
+    #: max requests drained per batch round
+    max_batch: int = 64
+    #: executor threads for dfs computes (None = min(4, cpu));
+    #: forced to 1 under kernel_backend="parallel"
+    executor_workers: int | None = None
+    #: affected-region fraction above which updates rebuild (see
+    #: repro.service.dynamic)
+    rebuild_fraction: float = 0.25
+    #: LRU bound on cached trees per graph
+    max_cache: int = 1024
+    #: resident graph count bound
+    max_graphs: int = 64
+    #: when > 0, every Nth served dfs response is cross-checked against
+    #: a fresh recompute (the lockstep contract, self-audited in prod)
+    verify_every: int = 0
+
+
+@dataclass
+class _Pending:
+    request: dict
+    future: asyncio.Future
+    t0: float
+
+
+class DFSService:
+    """The batching service core (no sockets; see :class:`ServiceServer`)."""
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self.config = config or ServiceConfig()
+        resolve_backend(self.config.kernel_backend)  # fail fast on typos
+        self.store = GraphStore(
+            kernel_backend=self.config.kernel_backend,
+            structure=self.config.structure,
+            rebuild_fraction=self.config.rebuild_fraction,
+            max_cache=self.config.max_cache,
+            max_graphs=self.config.max_graphs,
+        )
+        #: deterministic internal counters (the stats op reports these
+        #: whether or not an obs registry is active)
+        self.counters = {
+            "requests": 0,
+            "responses": 0,
+            "errors": 0,
+            "batches": 0,
+            "dfs_queries": 0,
+            "coalesced": 0,
+            "updates": 0,
+            "max_queue_depth": 0,
+            "max_batch": 0,
+            "lockstep_checks": 0,
+            "lockstep_violations": 0,
+        }
+        self._served_since_verify = 0
+        self._queue: asyncio.Queue[_Pending] | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._batcher: asyncio.Task | None = None
+        self._stopping = False
+        # obs instruments, bound once at construction (no-op singletons
+        # unless the service was built inside an activate() scope)
+        m = obs.metrics()
+        self._h_queue_depth = m.histogram("service.queue_depth")
+        self._h_batch = m.histogram("service.batch_size")
+        self._c_hits = m.counter("service.cache_hits")
+        self._c_misses = m.counter("service.cache_misses")
+        self._c_requests = m.counter("service.requests")
+        self._c_errors = m.counter("service.errors")
+        self._r_latency = m.reservoir("service.latency_ms")
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def started(self) -> bool:
+        return self._batcher is not None
+
+    async def start(self) -> None:
+        if self.started:
+            raise RuntimeError("service already started")
+        workers = self.config.executor_workers
+        if workers is None:
+            import os
+
+            workers = min(4, os.cpu_count() or 1)
+        if resolve_backend(self.config.kernel_backend) == "parallel":
+            # the worker pool's pipe protocol has one dispatcher; DFS
+            # jobs must not interleave their kernel rounds on it
+            workers = 1
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(1, workers), thread_name_prefix="repro-dfs"
+        )
+        self._queue = asyncio.Queue()
+        self._stopping = False
+        self._batcher = asyncio.create_task(
+            self._batch_loop(), name="repro-service-batcher"
+        )
+
+    async def stop(self) -> None:
+        if not self.started:
+            return
+        self._stopping = True
+        assert self._batcher is not None and self._queue is not None
+        # let the loop drain what is already enqueued, then cancel
+        await self._queue.join()
+        self._batcher.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await self._batcher
+        assert self._executor is not None
+        self._executor.shutdown(wait=True)
+        self._batcher = None
+        self._queue = None
+        self._executor = None
+
+    # ------------------------------------------------------------------
+    # request entry
+    # ------------------------------------------------------------------
+    async def submit(self, request: dict) -> dict:
+        """Validate, enqueue, and await one request (in-process entry)."""
+        self.counters["requests"] += 1
+        self._c_requests.value += 1
+        try:
+            request = protocol.validate_request(request)
+        except ProtocolError as exc:
+            return self._count_error(
+                protocol.error_payload(exc.code, exc.message, exc.req_id)
+            )
+        if not self.started or self._stopping:
+            return self._count_error(
+                protocol.error_payload(
+                    "unavailable", "service is not running",
+                    request.get("id"),
+                )
+            )
+        assert self._queue is not None
+        loop = asyncio.get_running_loop()
+        pending = _Pending(request, loop.create_future(), time.perf_counter())
+        self._queue.put_nowait(pending)
+        depth = self._queue.qsize()
+        if depth > self.counters["max_queue_depth"]:
+            self.counters["max_queue_depth"] = depth
+        return await pending.future
+
+    def _count_error(self, resp: dict) -> dict:
+        self.counters["errors"] += 1
+        self._c_errors.value += 1
+        return resp
+
+    # ------------------------------------------------------------------
+    # batch loop
+    # ------------------------------------------------------------------
+    async def _batch_loop(self) -> None:
+        assert self._queue is not None
+        while True:
+            first = await self._queue.get()
+            batch = [first]
+            while len(batch) < self.config.max_batch:
+                try:
+                    batch.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            self.counters["batches"] += 1
+            self.counters["max_batch"] = max(
+                self.counters["max_batch"], len(batch)
+            )
+            self._h_queue_depth.observe(len(batch) + self._queue.qsize())
+            self._h_batch.observe(len(batch))
+            try:
+                await self._process_batch(batch)
+            finally:
+                for _ in batch:
+                    self._queue.task_done()
+
+    async def _process_batch(self, batch: list[_Pending]) -> None:
+        """Arrival order is preserved; dfs runs coalesce, barriers split."""
+        group: list[_Pending] = []
+        for pending in batch:
+            if pending.request["op"] == "dfs":
+                group.append(pending)
+                continue
+            if group:
+                await self._run_dfs_group(group)
+                group = []
+            self._handle_barrier(pending)
+        if group:
+            await self._run_dfs_group(group)
+
+    def _respond(self, pending: _Pending, resp: dict) -> None:
+        rid = pending.request.get("id")
+        if rid is not None and "id" not in resp:
+            resp["id"] = rid
+        self.counters["responses"] += 1
+        if not resp.get("ok", False):
+            self.counters["errors"] += 1
+            self._c_errors.value += 1
+        self._r_latency.observe(
+            (time.perf_counter() - pending.t0) * 1000.0
+        )
+        if not pending.future.done():
+            pending.future.set_result(resp)
+
+    # ------------------------------------------------------------------
+    # barrier ops (applied inline, in arrival order)
+    # ------------------------------------------------------------------
+    def _handle_barrier(self, pending: _Pending) -> None:
+        req = pending.request
+        try:
+            resp = self._barrier_response(req)
+        except ServiceError as exc:
+            resp = protocol.error_payload(exc.code, exc.message)
+        except ValueError as exc:
+            resp = protocol.error_payload("bad_update", str(exc))
+        except Exception as exc:  # noqa: BLE001 - the loop must survive
+            resp = protocol.error_payload(
+                "internal_error", f"{type(exc).__name__}: {exc}"
+            )
+        self._respond(pending, resp)
+
+    def _barrier_response(self, req: dict) -> dict:
+        op = req["op"]
+        if op == "ping":
+            return {"ok": True, "pong": True}
+        if op == "graphs":
+            return {"ok": True, "graphs": self.store.names()}
+        if op == "stats":
+            if "graph" in req:
+                return {
+                    "ok": True,
+                    "graph": req["graph"],
+                    "stats": self.store.get(req["graph"]).stats(),
+                }
+            return {
+                "ok": True,
+                "graphs": self.store.stats(),
+                "service": dict(self.counters),
+            }
+        if op == "load":
+            rg = self.store.load(
+                req["graph"],
+                n=req.get("n"),
+                edges=req.get("edges"),
+                family=req.get("family"),
+                seed=req.get("seed", 0),
+            )
+            return {
+                "ok": True,
+                "graph": rg.name,
+                "n": rg.dyn.n,
+                "m": rg.dyn.m,
+                "mutations": rg.dyn.mutations,
+            }
+        if op == "drop":
+            self.store.drop(req["graph"])
+            return {"ok": True, "graph": req["graph"], "dropped": True}
+        if op == "update":
+            rg = self.store.get(req["graph"])
+            report = rg.dyn.apply_batch(
+                insert=req.get("insert"), delete=req.get("delete")
+            )
+            self.counters["updates"] += 1
+            return {
+                "ok": True,
+                "graph": req["graph"],
+                "mutations": report.mutations,
+                "mode": report.mode,
+                "inserted": report.inserted,
+                "deleted": report.deleted,
+                "skipped_inserts": report.skipped_inserts,
+                "skipped_deletes": report.skipped_deleted,
+                "affected": report.affected,
+                "touched_components": report.touched_components,
+            }
+        raise ServiceError("unknown_op", f"unhandled op {op!r}")
+
+    # ------------------------------------------------------------------
+    # dfs groups (coalesced, executor-offloaded)
+    # ------------------------------------------------------------------
+    async def _run_dfs_group(self, group: list[_Pending]) -> None:
+        assert self._executor is not None
+        loop = asyncio.get_running_loop()
+        #: (graph, root, seed) -> list of pendings sharing one compute
+        jobs: dict[tuple[str, int, int], list[_Pending]] = {}
+        answered: list[tuple[_Pending, dict, bool]] = []
+        for pending in group:
+            req = pending.request
+            self.counters["dfs_queries"] += 1
+            name = req["graph"]
+            root = req["root"]
+            seed = req.get("seed", 0)
+            try:
+                rg = self.store.get(name)
+                cached = rg.lookup(root, seed)
+            except ServiceError as exc:
+                self._respond(
+                    pending, protocol.error_payload(exc.code, exc.message)
+                )
+                continue
+            if cached is not None:
+                self._c_hits.value += 1
+                answered.append((pending, cached, True))
+                continue
+            self._c_misses.value += 1
+            key = (name, root, seed)
+            if key in jobs:
+                self.counters["coalesced"] += 1
+            jobs.setdefault(key, []).append(pending)
+
+        keys = list(jobs)
+        if keys:
+            futures = [
+                loop.run_in_executor(
+                    self._executor,
+                    self.store.get(name).compute,
+                    root,
+                    seed,
+                )
+                for name, root, seed in keys
+            ]
+            results = await asyncio.gather(*futures, return_exceptions=True)
+            for key, result in zip(keys, results):
+                name, root, seed = key
+                waiting = jobs[key]
+                if isinstance(result, BaseException):
+                    resp = protocol.error_payload(
+                        "compute_error",
+                        f"{type(result).__name__}: {result}",
+                    )
+                    for pending in waiting:
+                        self._respond(pending, dict(resp))
+                    continue
+                self.store.get(name).install(root, seed, result)
+                for pending in waiting:
+                    answered.append((pending, result, False))
+
+        for pending, tree, was_cached in answered:
+            resp = await self._maybe_verify(pending, tree, was_cached)
+            self._respond(pending, resp)
+
+    async def _maybe_verify(
+        self, pending: _Pending, tree: dict, was_cached: bool
+    ) -> dict:
+        """Build the dfs response; self-audit every Nth one when enabled."""
+        req = pending.request
+        name = req["graph"]
+        rg = self.store.get(name)
+        if self.config.verify_every > 0:
+            self._served_since_verify += 1
+            if self._served_since_verify >= self.config.verify_every:
+                self._served_since_verify = 0
+                self.counters["lockstep_checks"] += 1
+                loop = asyncio.get_running_loop()
+                assert self._executor is not None
+                fresh = await loop.run_in_executor(
+                    self._executor, rg.compute, req["root"],
+                    req.get("seed", 0),
+                )
+                if protocol.tree_bytes(fresh) != protocol.tree_bytes(tree):
+                    self.counters["lockstep_violations"] += 1
+                    return protocol.error_payload(
+                        "lockstep_violation",
+                        "served tree diverged from fresh recompute",
+                    )
+        return {
+            "ok": True,
+            "graph": name,
+            "root": req["root"],
+            "seed": req.get("seed", 0),
+            "mutations": rg.dyn.mutations,
+            "cached": was_cached,
+            "tree": tree,
+        }
+
+
+class ServiceHandle:
+    """In-process client for tests and benchmarks: no sockets, same core.
+
+    ::
+
+        async with ServiceHandle() as h:
+            await h.request({"op": "load", "graph": "g", "n": 8,
+                             "edges": [[0, 1], [1, 2]]})
+            resp = await h.request({"op": "dfs", "graph": "g", "root": 0})
+    """
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self.service = DFSService(config)
+
+    async def __aenter__(self) -> "ServiceHandle":
+        await self.service.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.service.stop()
+
+    async def request(self, request: dict) -> dict:
+        return await self.service.submit(request)
+
+    async def op(self, op: str, **fields) -> dict:
+        return await self.service.submit({"op": op, **fields})
+
+
+class ServiceServer:
+    """TCP front end speaking the line-delimited JSON protocol."""
+
+    def __init__(
+        self,
+        service: DFSService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        assert self._server is not None and self._server.sockets
+        sock = self._server.sockets[0]
+        return sock.getsockname()[:2]
+
+    async def start(self) -> None:
+        if not self.service.started:
+            await self.service.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.host,
+            self.port,
+            limit=protocol.MAX_LINE,
+        )
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.stop()
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None
+        await self._server.serve_forever()
+
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One client: read line, submit, write line.
+
+        Pipelining happens across connections (each connection is
+        request/response sequential); any connection-level failure is
+        contained here — the service loop and the resident graphs never
+        see it.
+        """
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    # overlong line: the stream is no longer in sync —
+                    # answer structurally, then drop the connection
+                    writer.write(
+                        protocol.encode(
+                            protocol.error_payload(
+                                "line_too_long",
+                                f"request line exceeds {protocol.MAX_LINE}"
+                                " bytes; closing connection",
+                            )
+                        )
+                    )
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    request = protocol.decode_request(line)
+                except ProtocolError as exc:
+                    self.service.counters["errors"] += 1
+                    writer.write(
+                        protocol.encode(
+                            protocol.error_payload(
+                                exc.code, exc.message, exc.req_id
+                            )
+                        )
+                    )
+                    await writer.drain()
+                    continue
+                response = await self.service.submit(request)
+                writer.write(protocol.encode(response))
+                await writer.drain()
+        except (ConnectionError, BrokenPipeError, asyncio.IncompleteReadError):
+            # client went away (possibly mid-batch, with its compute
+            # still in flight); its future result is simply dropped
+            pass
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()

@@ -206,6 +206,15 @@ class HDTConnectivity:
     def component_rep(self, v: int) -> int:
         return self.ett[0].component_rep(v)
 
+    def component_vertices(self, v: int) -> list[int]:
+        """All vertices of v's level-0 component (O(size of component)).
+
+        The service tier's incremental-maintenance layer
+        (:mod:`repro.service.dynamic`) uses this to stamp the affected
+        region of an update batch.
+        """
+        return self.ett[0].component_vertices(v)
+
     def spanning_forest_edges(self) -> list[tuple[int, int]]:
         """Current level-0 forest edges as sorted (u, v) pairs.
 

@@ -25,7 +25,7 @@ from repro.obs import (
 )
 from repro.obs import runtime
 from repro.obs.export import TRACE_PID, TRACE_TID
-from repro.obs.metrics import NULL_METRICS, Counter, Gauge, Histogram
+from repro.obs.metrics import NULL_METRICS, Counter, Gauge, Histogram, Reservoir
 from repro.obs.tracer import _NULL_SPAN, NULL_TRACER
 from repro.pram.tracker import Tracker
 
@@ -392,3 +392,76 @@ class TestExport:
             line for line in report.splitlines() if line.startswith("parallel_dfs")
         )
         assert " 7 " in root_line  # tracked_work column
+
+
+# ----------------------------------------------------------------------
+# Reservoir (service latency quantiles)
+# ----------------------------------------------------------------------
+
+
+class TestReservoir:
+    def test_exact_quantiles_below_limit(self):
+        r = Reservoir("lat", limit=256)
+        for v in (5.0, 1.0, 3.0, 2.0, 4.0):
+            r.observe(v)
+        assert r.count == 5 and r.total == 15.0 and r.mean == 3.0
+        assert r.vmin == 1.0 and r.vmax == 5.0
+        assert r.quantile(0.0) == 1.0
+        assert r.quantile(0.5) == 3.0
+        assert r.quantile(1.0) == 5.0
+
+    def test_deterministic_decimation_bounds_memory(self):
+        r = Reservoir("lat", limit=8)
+        for v in range(1000):
+            r.observe(float(v))
+        assert r.count == 1000
+        assert len(r._sample) < 8
+        assert r._stride > 1
+        # the retained sample is an evenly spaced subsequence, so the
+        # extreme quantiles stay near the true extremes
+        assert r.quantile(0.0) >= 0.0
+        assert r.quantile(1.0) <= 999.0
+        assert r.quantile(0.5) == sorted(r._sample)[(len(r._sample) - 1) // 2 + (len(r._sample) - 1) % 2]
+
+    def test_decimation_is_deterministic(self):
+        r1, r2 = Reservoir("a", limit=16), Reservoir("b", limit=16)
+        for v in range(500):
+            r1.observe(v)
+            r2.observe(v)
+        assert r1._sample == r2._sample and r1._stride == r2._stride
+        assert r1.summary()["p99"] == r2.summary()["p99"]
+
+    def test_summary_shape_and_empty(self):
+        r = Reservoir("lat")
+        assert r.summary() == {
+            "count": 0, "mean": 0.0, "min": 0.0, "max": 0.0,
+            "p50": 0.0, "p90": 0.0, "p99": 0.0, "sampled": 0,
+        }
+        r.observe(7)
+        s = r.summary()
+        assert s["count"] == 1 and s["p50"] == 7 and s["p99"] == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Reservoir("r", limit=1)
+        r = Reservoir("r")
+        r.observe(1.0)
+        with pytest.raises(ValueError):
+            r.quantile(1.5)
+
+    def test_registry_memoized_and_collisions(self):
+        m = Metrics()
+        r1 = m.reservoir("service.latency_ms")
+        r1.observe(2.5)
+        assert m.reservoir("service.latency_ms") is r1
+        with pytest.raises(TypeError, match="already registered"):
+            m.histogram("service.latency_ms")
+        d = m.as_dict()
+        assert d["service.latency_ms"]["count"] == 1
+
+    def test_null_metrics_hands_out_fresh_reservoirs(self):
+        n = NullMetrics()
+        r = n.reservoir("x")
+        r.observe(3)
+        assert n.reservoir("x") is not r
+        assert n.as_dict() == {}

@@ -1,0 +1,157 @@
+"""Stateful model-based battery for the DFS service (hypothesis).
+
+An :class:`AsyncServiceMachine` drives a live in-process
+:class:`~repro.service.server.ServiceHandle` (real asyncio batch loop +
+executor) through arbitrary interleavings of queries, edge updates, and
+cache invalidations, while a plain edge-*set* model tracks the canonical
+graph state.  After every step the service must stay in lockstep:
+
+* every served DFS tree is **byte-identical** to a fresh
+  ``parallel_dfs`` on ``Graph(n, sorted(model_edges))`` — whether it
+  came from the component-stamp cache or a recompute;
+* the per-graph mutation counter is monotone and advances exactly on
+  applied (non-noop) batches;
+* a response claiming ``cached: true`` implies the previous identical
+  query was served under the same mutation counter.
+
+Shrinking works because rules draw only small integers; hypothesis can
+minimize a failing schedule to its essential update/query alternation.
+"""
+
+import asyncio
+import random
+
+import hypothesis.strategies as st
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core.dfs import parallel_dfs
+from repro.graph.generators import make_family
+from repro.graph.graph import Graph
+from repro.service import ServiceConfig, ServiceHandle, tree_bytes, tree_payload
+
+#: two small components so untouched-component cache hits actually occur
+_PARTS = ("gnm", "tree")
+_N_EACH = 8
+
+
+def _initial_edges():
+    edges = []
+    total = 0
+    for k, fam in enumerate(_PARTS):
+        g = make_family(fam, _N_EACH, seed=k)
+        edges.extend((u + total, v + total) for u, v in g.edges)
+        total += g.n
+    return total, edges
+
+
+class AsyncServiceMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.loop = asyncio.new_event_loop()
+        self.n, edges = _initial_edges()
+        self.model = {(min(u, v), max(u, v)) for u, v in edges}
+        self.handle = ServiceHandle(
+            ServiceConfig(kernel_backend="numpy", rebuild_fraction=0.5)
+        )
+        self._do(self.handle.__aenter__())
+        resp = self._do(
+            self.handle.op(
+                "load", graph="g", n=self.n,
+                edges=[list(e) for e in sorted(self.model)],
+            )
+        )
+        assert resp["ok"], resp
+        self.mutations = resp["mutations"]
+        #: (root, seed) -> mutation counter the last response was served at
+        self.last_served: dict[tuple[int, int], int] = {}
+
+    def _do(self, coro):
+        return self.loop.run_until_complete(coro)
+
+    def _oracle_bytes(self, root, seed):
+        g = Graph(self.n, sorted(self.model))
+        res = parallel_dfs(
+            g, root, rng=random.Random(seed),
+            backend="flat", kernel_backend="numpy",
+        )
+        return tree_bytes(tree_payload(res.root, res.parent, res.depth))
+
+    # ------------------------------------------------------------------
+    @rule(root=st.integers(0, 2 * _N_EACH - 1), seed=st.integers(0, 2))
+    def query(self, root, seed):
+        resp = self._do(self.handle.op("dfs", graph="g", root=root, seed=seed))
+        assert resp["ok"], resp
+        assert resp["mutations"] == self.mutations
+        assert tree_bytes(resp["tree"]) == self._oracle_bytes(root, seed), (
+            f"lockstep violation at root={root} seed={seed} "
+            f"mutations={self.mutations} cached={resp['cached']}"
+        )
+        if resp["cached"]:
+            # a hit implies this (root, seed) was served before and the
+            # root's component is unchanged since; the stamp machinery
+            # guarantees at least that a previous serve existed
+            assert (root, seed) in self.last_served
+        self.last_served[(root, seed)] = self.mutations
+
+    @rule(data=st.data())
+    def update(self, data):
+        u = data.draw(st.integers(0, self.n - 1), label="u")
+        v = data.draw(st.integers(0, self.n - 1), label="v")
+        if u == v:
+            return
+        key = (min(u, v), max(u, v))
+        if key in self.model:
+            resp = self._do(
+                self.handle.op("update", graph="g", delete=[list(key)])
+            )
+            self.model.discard(key)
+        else:
+            resp = self._do(
+                self.handle.op("update", graph="g", insert=[list(key)])
+            )
+            self.model.add(key)
+        assert resp["ok"], resp
+        assert resp["mode"] in ("incremental", "rebuild")
+        assert resp["mutations"] == self.mutations + 1, "counter must advance"
+        self.mutations = resp["mutations"]
+
+    @rule()
+    def noop_update(self):
+        # inserting a present edge (or an empty batch) must not advance
+        # the counter or disturb any cached answer
+        batch = [list(next(iter(self.model)))] if self.model else []
+        resp = self._do(self.handle.op("update", graph="g", insert=batch))
+        assert resp["ok"] and resp["mode"] == "noop"
+        assert resp["mutations"] == self.mutations
+
+    @rule()
+    def invalidate_cache(self):
+        # dropping every cached tree must be invisible in responses
+        # (only the cached flag may change)
+        self._do(self.handle.op("ping"))  # barrier: batcher idle
+        self.handle.service.store.get("g").invalidate()
+
+    # ------------------------------------------------------------------
+    @invariant()
+    def counters_consistent(self):
+        c = self.handle.service.counters
+        assert c["responses"] <= c["requests"]
+        assert c["lockstep_violations"] == 0
+        rg = self.handle.service.store.get("g")
+        assert rg.dyn.mutations == self.mutations
+        assert sorted(rg.dyn.edge_pairs()) == sorted(self.model)
+
+    def teardown(self):
+        try:
+            rg = self.handle.service.store.get("g")
+            rg.dyn.check_invariants()
+            self._do(self.handle.__aexit__(None, None, None))
+        finally:
+            self.loop.close()
+
+
+TestServiceStateful = AsyncServiceMachine.TestCase
+TestServiceStateful.settings = settings(
+    max_examples=15, stateful_step_count=25, deadline=None
+)
