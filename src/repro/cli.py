@@ -178,7 +178,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         executor_workers=args.workers,
         rebuild_fraction=args.rebuild_fraction,
         verify_every=args.verify_every,
+        slo_ms=args.slo_ms,
     )
+    if args.flight_dir is not None:  # else keep the REPRO_FLIGHT_DIR default
+        config.flight_dir = args.flight_dir
 
     async def run() -> None:
         server = ServiceServer(DFSService(config), args.host, args.port)
@@ -201,6 +204,40 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         print("service stopped")
     return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Poll a running service's ``stats`` op (optionally repeatedly)."""
+    import json
+    import time as _time
+
+    from .service.client import ServiceClient
+
+    request: dict = {"op": "stats"}
+    if args.format == "openmetrics":
+        request["format"] = "openmetrics"
+    if args.graph is not None:
+        request["graph"] = args.graph
+    while True:
+        with ServiceClient(
+            args.host, args.port, timeout=args.timeout
+        ) as client:
+            response = client.request(request)
+        if not response.get("ok"):
+            print(
+                json.dumps(response, sort_keys=True, indent=2),
+                file=sys.stderr,
+            )
+            return 1
+        if args.format == "openmetrics":
+            # the exposition text is the payload; print it verbatim
+            sys.stdout.write(response["openmetrics"])
+            sys.stdout.flush()
+        else:
+            print(json.dumps(response, sort_keys=True, indent=2))
+        if args.watch is None:
+            return 0
+        _time.sleep(args.watch)
 
 
 def _parse_pairs(text: str) -> list[list[int]]:
@@ -321,7 +358,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verify-every", type=int, default=0, metavar="N",
                    help="self-audit every Nth dfs response against a "
                         "fresh recompute (0 = off)")
+    p.add_argument("--slo-ms", type=float, default=0.0, metavar="MS",
+                   help="latency SLO; slower responses fire the "
+                        "slow_request flight-recorder anomaly (0 = off)")
+    p.add_argument("--flight-dir", default=None, metavar="DIR",
+                   help="write flight-recorder anomaly dumps (Perfetto "
+                        "bundles) into DIR (default: record only)")
     p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "stats", help="poll a running DFS service's stats/metrics"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8765)
+    p.add_argument("--timeout", type=float, default=30.0)
+    p.add_argument("--format", choices=("json", "openmetrics"),
+                   default="json",
+                   help="json stats document or OpenMetrics text "
+                        "exposition")
+    p.add_argument("--graph", default=None,
+                   help="per-graph stats instead of the service document")
+    p.add_argument("--watch", type=float, default=None, metavar="SECONDS",
+                   help="poll repeatedly at this interval until killed")
+    p.set_defaults(fn=_cmd_stats)
 
     p = sub.add_parser(
         "client", help="send one request to a running DFS service"

@@ -14,13 +14,20 @@ rule's way by design.
 
 A call is flagged when all of the following hold:
 
-* the file lives under ``kernels/``;
+* the file is in scope: under ``kernels/`` or ``service/``, or it is
+  ``pram/executor.py`` (the worker pool's dispatch path) — everywhere
+  the zero-overhead-off contract is load-bearing;
 * the call sits inside a loop (``for``/``while``/comprehension) whose
   iterables are not all constant-sized — same sizing logic as R001;
 * the callee is observational: rooted at a name imported from
   ``repro.obs`` (``obs.span(...)``, ``_obs_metrics()``, ...) or a
-  method named like an instrument operation (``.inc(``, ``.observe(``,
-  ``.counter(``, ``.gauge(``, ``.histogram(``).
+  method named like an instrument or flight-recorder operation
+  (``.inc(``, ``.observe(``, ``.counter(``, ``.gauge(``,
+  ``.histogram(``, ``.event(``, ``.anomaly(``).
+
+The service's batch pump (``while True``) records once per *drained
+batch* — that is the sanctioned granularity, and those sites carry an
+inline ``# repro-lint: disable=R006`` stating so.
 """
 
 from __future__ import annotations
@@ -33,12 +40,19 @@ from .rules_cost import _LOOP_NODES, _loop_iterables
 
 __all__ = ["ObsInHotLoopRule", "OBS_METHODS"]
 
-#: method names that operate on an instrument or the active tracer; no
-#: other object in the kernels exposes these
-OBS_METHODS: frozenset[str] = frozenset({"inc", "observe", "counter", "gauge", "histogram"})
+#: method names that operate on an instrument, the active tracer, or
+#: the flight recorder; no other object in the scoped packages exposes
+#: these
+OBS_METHODS: frozenset[str] = frozenset(
+    {"inc", "observe", "counter", "gauge", "histogram", "event", "anomaly"}
+)
 
-#: R006 scope: the vectorized fast path
-_SCOPE_PACKAGES = ("kernels",)
+#: R006 scope: the vectorized fast path plus the service loop
+_SCOPE_PACKAGES = ("kernels", "service")
+
+#: individually scoped files (module-relative): the pool dispatch path
+#: is per-round hot even though the rest of ``pram/`` is tracker-side
+_SCOPE_FILES = ("pram/executor.py",)
 
 
 def _is_obs_module(node: ast.ImportFrom) -> bool:
@@ -74,7 +88,9 @@ class ObsInHotLoopRule(Rule):
     )
 
     def check(self, ctx: FileContext) -> Iterable[Finding]:
-        if not ctx.in_package(*_SCOPE_PACKAGES):
+        if not (
+            ctx.in_package(*_SCOPE_PACKAGES) or ctx.rel in _SCOPE_FILES
+        ):
             return
         aliases = _obs_aliases(ctx.tree)
 
@@ -101,7 +117,7 @@ class ObsInHotLoopRule(Rule):
                 yield self.finding(
                     ctx,
                     node,
-                    f"observability call inside a potentially graph-sized "
-                    f"{kind} in kernel code",
+                    f"observability call inside a potentially unbounded "
+                    f"{kind} on the hot path",
                 )
                 break  # one finding per call, not per enclosing loop

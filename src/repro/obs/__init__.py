@@ -19,12 +19,20 @@ iterates an unordered container — tracing on or off, ``parallel_dfs``
 returns byte-identical trees on both kernel backends.
 """
 
+from .context import bound_call, current_request_id, request_scope
 from .export import (
     render_tree,
     to_trace_events,
     validate_trace_events,
     write_chrome_trace,
     write_jsonl,
+)
+from .flight import (
+    FlightRecorder,
+    NULL_RECORDER,
+    NullFlightRecorder,
+    install_recorder,
+    recorder,
 )
 from .metrics import (
     Counter,
@@ -35,11 +43,13 @@ from .metrics import (
     NullMetrics,
     Reservoir,
 )
+from .openmetrics import OpenMetricsDoc, render_openmetrics, sanitize_name
 from .profile import PHASE_STAT_PREFIX, PhaseError, PhaseProfiler, phase_seconds
 from .runtime import (
     Observation,
     activate,
     enabled,
+    install,
     metrics,
     span,
     traced,
@@ -49,14 +59,18 @@ from .tracer import NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "Metrics",
     "NULL_METRICS",
+    "NULL_RECORDER",
     "NULL_TRACER",
+    "NullFlightRecorder",
     "NullMetrics",
     "NullTracer",
     "Observation",
+    "OpenMetricsDoc",
     "PHASE_STAT_PREFIX",
     "PhaseError",
     "PhaseProfiler",
@@ -64,10 +78,18 @@ __all__ = [
     "Span",
     "Tracer",
     "activate",
+    "bound_call",
+    "current_request_id",
     "enabled",
+    "install",
+    "install_recorder",
     "metrics",
     "phase_seconds",
+    "recorder",
+    "render_openmetrics",
     "render_tree",
+    "request_scope",
+    "sanitize_name",
     "span",
     "to_trace_events",
     "traced",

@@ -38,12 +38,14 @@ __all__ = [
     "render_tree",
 ]
 
-#: constant ids: the PRAM simulation is one sequential process/thread,
-#: and constants keep fixed-clock exports byte-identical across runs
+#: constant pid: one tracer = one process timeline; the *tid* comes from
+#: each span (stable small ids in first-span order), so single-threaded
+#: fixed-clock exports stay byte-identical while executor threads render
+#: as their own tracks
 TRACE_PID = 1
 TRACE_TID = 1
 
-_REQUIRED_FIELDS = ("name", "ph", "ts", "dur", "pid", "tid", "args")
+_REQUIRED_FIELDS = ("name", "ph", "ts", "pid", "tid", "args")
 
 
 def _span_args(span: Span) -> dict[str, Any]:
@@ -71,32 +73,39 @@ def to_trace_events(tracer: Tracer) -> list[dict[str, Any]]:
                 "ts": round((span.t0 - tracer.t_origin) * 1e6, 3),
                 "dur": round(span.dur * 1e6, 3),
                 "pid": TRACE_PID,
-                "tid": TRACE_TID,
+                "tid": getattr(span, "tid", TRACE_TID),
                 "args": _span_args(span),
             }
         )
-    events.sort(key=lambda e: (e["ts"], -e["dur"]))
+    events.sort(key=lambda e: (e["tid"], e["ts"], -e["dur"]))
     return events
 
 
 def validate_trace_events(events: list[dict[str, Any]]) -> list[str]:
-    """Schema-check events against the ``trace_event`` complete-event
-    format; returns a list of problems (empty = valid).
+    """Schema-check events against the ``trace_event`` format; returns a
+    list of problems (empty = valid).
 
-    Checks: required fields present, ``ph == "X"``, numeric
-    non-negative ``ts``/``dur``, integer ``pid``/``tid``, dict ``args``,
-    and well-formed nesting on each thread (any two events either
-    disjoint or properly contained — overlapping half-open intervals
-    would render as a corrupt flame graph).
+    Two phases are accepted: complete events (``ph == "X"``, requiring a
+    numeric ``dur``) and instant events (``ph == "i"``, the flight
+    recorder's point-in-time records — no ``dur``, thread scope).
+    Checks: required fields present, numeric non-negative ``ts``/``dur``,
+    integer ``pid``/``tid``, dict ``args``, and well-formed nesting of
+    the complete events on each thread (any two either disjoint or
+    properly contained — overlapping half-open intervals would render
+    as a corrupt flame graph).
     """
     problems: list[str] = []
     for i, ev in enumerate(events):
         for fld in _REQUIRED_FIELDS:
             if fld not in ev:
                 problems.append(f"event {i}: missing field {fld!r}")
-        if ev.get("ph") != "X":
-            problems.append(f"event {i}: ph must be 'X', got {ev.get('ph')!r}")
-        for fld in ("ts", "dur"):
+        ph = ev.get("ph")
+        if ph not in ("X", "i"):
+            problems.append(
+                f"event {i}: ph must be 'X' or 'i', got {ph!r}"
+            )
+        dur_fields = ("ts", "dur") if ph == "X" else ("ts",)
+        for fld in dur_fields:
             val = ev.get(fld)
             if not isinstance(val, (int, float)) or val < 0:
                 problems.append(f"event {i}: {fld} must be a number >= 0")
@@ -107,10 +116,13 @@ def validate_trace_events(events: list[dict[str, Any]]) -> list[str]:
             problems.append(f"event {i}: args must be an object")
     if problems:
         return problems
-    # nesting check per (pid, tid): sorted by (ts, -dur), a stack of
-    # enclosing intervals must always contain the next event
+    # nesting check per (pid, tid) over complete events: sorted by
+    # (ts, -dur), a stack of enclosing intervals must always contain
+    # the next event
     by_thread: dict[tuple, list[dict]] = {}
     for ev in events:
+        if ev["ph"] != "X":
+            continue
         by_thread.setdefault((ev["pid"], ev["tid"]), []).append(ev)
     eps = 1e-6
     for key, evs in sorted(by_thread.items()):

@@ -1,0 +1,190 @@
+"""OpenMetrics text exposition for the live metrics plane.
+
+Renders the observability registry (:class:`~repro.obs.metrics.Metrics`)
+plus arbitrary caller-supplied series into the OpenMetrics text format
+(the Prometheus exposition format with an explicit ``# EOF``
+terminator), so a running service can be scraped — or polled by hand
+with ``repro stats --format openmetrics``.
+
+Mapping from the repo's instruments:
+
+* :class:`~repro.obs.metrics.Counter` → ``counter`` (``_total`` sample);
+* :class:`~repro.obs.metrics.Gauge` → ``gauge``;
+* :class:`~repro.obs.metrics.Histogram` → ``summary`` (``_count`` /
+  ``_sum``) plus ``_min`` / ``_max`` gauges (the O(1) histogram keeps
+  no quantiles by design);
+* :class:`~repro.obs.metrics.Reservoir` → ``summary`` with
+  ``quantile="0.5"/"0.9"/"0.99"`` series from the deterministic
+  decimation sample, plus ``_min`` / ``_max`` gauges.
+
+Instrument names like ``service.latency_ms`` sanitize to
+``<prefix>_service_latency_ms``.  Rendering is deterministic: series
+appear in sorted metric-name order, labels in sorted key order.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Mapping
+
+from .metrics import Counter, Gauge, Histogram, Metrics, Reservoir
+
+__all__ = ["OpenMetricsDoc", "render_openmetrics", "sanitize_name"]
+
+_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_name(name: str, prefix: str = "") -> str:
+    """An OpenMetrics-legal metric name (dots and dashes become ``_``)."""
+    out = _NAME_BAD.sub("_", name)
+    if prefix:
+        out = f"{prefix}_{out}"
+    if not out or out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def _escape_label(value: Any) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _fmt_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+class OpenMetricsDoc:
+    """Accumulates typed metric families; :meth:`render` emits the text.
+
+    Families are keyed by sanitized name; re-adding the same family
+    appends samples (e.g. one gauge per resident graph, distinguished
+    by labels).  A name is bound to its first type — mixing types under
+    one name raises, mirroring :class:`~repro.obs.metrics.Metrics`.
+    """
+
+    def __init__(self, prefix: str = "repro") -> None:
+        self.prefix = prefix
+        #: name -> (type, [(labels, suffix, value), ...])
+        self._families: dict[str, tuple[str, list]] = {}
+
+    # ------------------------------------------------------------------
+    def _add(
+        self,
+        name: str,
+        kind: str,
+        value: Any,
+        labels: Mapping[str, Any] | None,
+        suffix: str = "",
+    ) -> None:
+        metric = sanitize_name(name, self.prefix)
+        kind_now, samples = self._families.setdefault(metric, (kind, []))
+        if kind_now != kind:
+            raise ValueError(
+                f"metric {metric!r} already registered as {kind_now}, "
+                f"not {kind}"
+            )
+        samples.append((dict(labels or {}), suffix, value))
+
+    def counter(
+        self, name: str, value: Any, labels: Mapping[str, Any] | None = None
+    ) -> None:
+        self._add(name, "counter", value, labels, suffix="_total")
+
+    def gauge(
+        self, name: str, value: Any, labels: Mapping[str, Any] | None = None
+    ) -> None:
+        self._add(name, "gauge", value, labels)
+
+    def info(self, name: str, labels: Mapping[str, Any]) -> None:
+        """An info metric: constant 1 carrying build/provenance labels."""
+        self._add(name, "info", 1, labels, suffix="_info")
+
+    def summary(
+        self,
+        name: str,
+        count: Any,
+        total: Any,
+        quantiles: Mapping[float, Any] | None = None,
+        labels: Mapping[str, Any] | None = None,
+    ) -> None:
+        self._add(name, "summary", count, labels, suffix="_count")
+        self._add(name, "summary", total, labels, suffix="_sum")
+        for q, v in sorted((quantiles or {}).items()):
+            lbl = dict(labels or {})
+            lbl["quantile"] = repr(float(q))
+            self._add(name, "summary", v, lbl)
+
+    # ------------------------------------------------------------------
+    def from_metrics(self, metrics: Metrics) -> None:
+        """Add every instrument of an observability registry."""
+        for name in sorted(metrics._instruments):
+            inst = metrics._instruments[name]
+            if isinstance(inst, Counter):
+                self.counter(name, inst.value)
+            elif isinstance(inst, Gauge):
+                self.gauge(name, inst.value)
+            elif isinstance(inst, Reservoir):
+                self.summary(
+                    name,
+                    inst.count,
+                    inst.total,
+                    {
+                        0.5: inst.quantile(0.5),
+                        0.9: inst.quantile(0.9),
+                        0.99: inst.quantile(0.99),
+                    },
+                )
+                self.gauge(name + "_min", inst.vmin)
+                self.gauge(name + "_max", inst.vmax)
+            elif isinstance(inst, Histogram):
+                self.summary(name, inst.count, inst.total)
+                self.gauge(name + "_min", inst.vmin)
+                self.gauge(name + "_max", inst.vmax)
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """The OpenMetrics text (ends with ``# EOF``)."""
+        lines: list[str] = []
+        for metric in sorted(self._families):
+            kind, samples = self._families[metric]
+            lines.append(f"# TYPE {metric} {kind}")
+            for labels, suffix, value in samples:
+                if labels:
+                    body = ",".join(
+                        f'{sanitize_name(k)}="{_escape_label(v)}"'
+                        for k, v in sorted(labels.items())
+                    )
+                    label_txt = "{" + body + "}"
+                else:
+                    label_txt = ""
+                lines.append(
+                    f"{metric}{suffix}{label_txt} {_fmt_value(value)}"
+                )
+        lines.append("# EOF")
+        return "\n".join(lines) + "\n"
+
+
+def render_openmetrics(
+    metrics: Metrics | None = None,
+    *,
+    counters: Mapping[str, Any] | None = None,
+    gauges: Mapping[str, Any] | None = None,
+    prefix: str = "repro",
+) -> str:
+    """One-call form: registry + flat counter/gauge mappings → text."""
+    doc = OpenMetricsDoc(prefix=prefix)
+    if metrics is not None:
+        doc.from_metrics(metrics)
+    for name in sorted(counters or {}):
+        doc.counter(name, counters[name])
+    for name in sorted(gauges or {}):
+        doc.gauge(name, gauges[name])
+    return doc.render()

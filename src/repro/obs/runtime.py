@@ -39,6 +39,7 @@ __all__ = [
     "Observation",
     "activate",
     "enabled",
+    "install",
     "metrics",
     "span",
     "traced",
@@ -91,6 +92,27 @@ def traced(name: str, **attrs: Any):
         return wrapper
 
     return deco
+
+
+def install(
+    trc: Tracer | NullTracer, mtr: Metrics | None = None
+) -> Observation:
+    """Install a (tracer, metrics) pair without a ``with`` block.
+
+    The non-context twin of :func:`activate` for lifecycles that don't
+    nest lexically — a service that activates at ``start()`` and
+    restores at ``stop()``.  Returns the *previous* pair; pass its
+    fields back (``install(prev.tracer, prev.metrics)``) to restore.
+    """
+    global _TRACER, _METRICS
+    prev = Observation(_TRACER, _METRICS)
+    _TRACER = trc
+    _METRICS = (
+        mtr
+        if mtr is not None
+        else (Metrics() if trc is not NULL_TRACER else NULL_METRICS)
+    )
+    return prev
 
 
 @contextmanager

@@ -28,8 +28,13 @@ is the PRAM depth accumulated inside it.
 
 from __future__ import annotations
 
+import itertools
+import threading
 import time
+from collections import deque
 from typing import Any, Callable, TYPE_CHECKING
+
+from .context import current_request_id
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
     from ..pram.tracker import Tracker
@@ -46,6 +51,7 @@ class Span:
         "sid",
         "parent",
         "depth",
+        "tid",
         "attrs",
         "t0",
         "dur",
@@ -57,13 +63,17 @@ class Span:
 
     def __init__(
         self, tracer: "Tracer", name: str, sid: int, parent: int | None,
-        depth: int, attrs: dict[str, Any],
+        depth: int, attrs: dict[str, Any], tid: int = 1,
     ) -> None:
         self.tracer = tracer
         self.name = name
         self.sid = sid
         self.parent = parent
         self.depth = depth
+        #: stable small thread id (1 = first span-opening thread); the
+        #: exports key timelines on it so executor-thread spans render
+        #: as separate tracks instead of a corrupt single flame graph
+        self.tid = tid
         self.attrs = attrs
         self.t0 = 0.0
         self.dur = 0.0
@@ -80,7 +90,7 @@ class Span:
 
     def __enter__(self) -> "Span":
         tr = self.tracer
-        tr._stack.append(self)
+        tr._stack().append(self)
         t = tr.tracker
         if t is not None:
             self.work0, self.depth0 = t.snapshot()
@@ -97,7 +107,8 @@ class Span:
             d = t.delta(Cost(self.work0, self.depth0))
             self.work_delta = d.work
             self.span_delta = d.span
-        popped = tr._stack.pop()
+        stack = tr._stack()
+        popped = stack.pop()
         assert popped is self, "span stack corrupted (overlapping exits)"
         tr.spans.append(self)
 
@@ -111,7 +122,20 @@ class Tracer:
     ``tracker`` (optional) is snapshotted at span boundaries for
     work/span deltas; ``clock`` is injectable for deterministic tests
     (defaults to :func:`time.perf_counter`); ``backend`` is a free-form
-    label stamped on exports (e.g. the resolved kernel backend).
+    label stamped on exports (e.g. the resolved kernel backend);
+    ``limit`` (optional) bounds retention — the span store becomes a
+    ring that evicts oldest-first, which is what the always-on flight
+    recorder (:mod:`repro.obs.flight`) runs on.
+
+    Thread model: the *open-span stack* is thread-local, so executor
+    threads nest their own spans independently (each thread gets a
+    stable small ``tid``, assigned in first-span order); the finished
+    store is shared (CPython list/deque appends are atomic).  The
+    single-threaded PRAM simulation never notices — every span stays on
+    ``tid == 1`` and exports are byte-identical to the single-stack
+    implementation.  If a :func:`~repro.obs.context.request_scope` is
+    current when a span is created, the request id is stamped into the
+    span's attrs for cross-thread correlation.
     """
 
     def __init__(
@@ -119,15 +143,49 @@ class Tracer:
         tracker: "Tracker | None" = None,
         clock: Callable[[], float] = time.perf_counter,
         backend: str | None = None,
+        limit: int | None = None,
     ) -> None:
         self.tracker = tracker
         self.clock = clock
         self.backend = backend
+        self.limit = limit
         self.t_origin = clock()
-        #: finished spans, in completion order
-        self.spans: list[Span] = []
-        self._stack: list[Span] = []
-        self._next_sid = 0
+        #: finished spans, in completion order (a bounded ring when
+        #: ``limit`` is set — oldest spans are evicted)
+        self.spans: list[Span] | deque[Span] = (
+            deque(maxlen=limit) if limit is not None else []
+        )
+        self._tls = threading.local()
+        self._sid = itertools.count()
+        self._tid_lock = threading.Lock()
+        self._tids: dict[int, int] = {}
+        #: every thread's open stack, keyed by thread ident, so the
+        #: flight recorder can snapshot *in-flight* spans at dump time
+        #: (the span around the anomaly hasn't closed yet — it is the
+        #: one the dump most needs to show)
+        self._open_stacks: dict[int, list[Span]] = {}
+
+    def _stack(self) -> list[Span]:
+        """This thread's open-span stack (created on first use)."""
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+            with self._tid_lock:
+                self._open_stacks[threading.get_ident()] = stack
+        return stack
+
+    def _thread_tid(self) -> int:
+        """Stable small id for the calling thread (1, 2, ... in
+        first-span order)."""
+        tid = getattr(self._tls, "tid", None)
+        if tid is None:
+            ident = threading.get_ident()
+            with self._tid_lock:
+                tid = self._tids.get(ident)
+                if tid is None:
+                    tid = self._tids[ident] = len(self._tids) + 1
+            self._tls.tid = tid
+        return tid
 
     # ------------------------------------------------------------------
     def span(self, name: str, **attrs: Any) -> Span:
@@ -136,16 +194,19 @@ class Tracer:
         Use as ``with tracer.span("separator.round", k=k) as sp: ...``;
         the span records itself on ``__exit__``.
         """
-        sid = self._next_sid
-        self._next_sid += 1
-        top = self._stack[-1] if self._stack else None
+        rid = current_request_id()
+        if rid is not None and "request_id" not in attrs:
+            attrs["request_id"] = rid
+        stack = self._stack()
+        top = stack[-1] if stack else None
         return Span(
             self,
             name,
-            sid,
+            next(self._sid),
             top.sid if top is not None else None,
             top.depth + 1 if top is not None else 0,
             attrs,
+            tid=self._thread_tid(),
         )
 
     def wrap(self, name: str, **attrs: Any):
@@ -166,7 +227,25 @@ class Tracer:
     # ------------------------------------------------------------------
     @property
     def open_depth(self) -> int:
-        return len(self._stack)
+        """Open spans on the *calling* thread's stack."""
+        return len(self._stack())
+
+    def open_spans(self) -> list[Span]:
+        """A snapshot of the spans currently open on *any* thread,
+        outermost first per thread.
+
+        Observational: list copies under the GIL are safe against
+        concurrent append/pop, and a span mid-``__enter__`` simply shows
+        its not-yet-stamped ``t0`` — callers synthesizing intervals must
+        clamp.  Used by the flight recorder so anomaly dumps include the
+        in-flight request, not just already-finished history.
+        """
+        with self._tid_lock:
+            stacks = list(self._open_stacks.values())
+        out: list[Span] = []
+        for stack in stacks:
+            out.extend(list(stack))
+        return out
 
     def roots(self) -> list[Span]:
         """Finished top-level spans, in completion order."""
@@ -206,6 +285,9 @@ class NullTracer:
 
     def span(self, name: str, **attrs: Any) -> _NullSpan:
         return _NULL_SPAN
+
+    def open_spans(self) -> list:
+        return []
 
     def wrap(self, name: str, **attrs: Any):
         def deco(fn):

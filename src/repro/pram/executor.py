@@ -37,6 +37,8 @@ import traceback
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Sequence, TypeVar
 
+from ..obs.flight import recorder
+
 T = TypeVar("T")
 R = TypeVar("R")
 
@@ -246,6 +248,12 @@ class WorkerPool:
             raise ValueError("pool is closed")
         if not tasks:
             return []
+        # one correlation event per *dispatch*, never per task: the
+        # flight recorder stamps the caller's request id (when the
+        # dispatch originated from a service request context) so a
+        # flight dump ties kernel rounds back to the client request
+        rec = recorder()
+        rec.event("pool.dispatch", tasks=len(tasks), width=self._width)
         for i, (fn_path, kwargs) in enumerate(tasks):
             self._conns[i % self._width].send(("task", fn_path, kwargs))
         results: list = [None] * len(tasks)
@@ -257,6 +265,15 @@ class WorkerPool:
                     raise EOFError("reply timeout")
                 status, payload = conn.recv()
             except (EOFError, OSError) as exc:
+                # fires at most once per run(): the raise below ends the
+                # collection loop and closes the pool
+                rec.anomaly(  # repro-lint: disable=R006
+                    "worker_fault",
+                    worker=i % self._width,
+                    width=self._width,
+                    tasks=len(tasks),
+                    error=str(exc) or type(exc).__name__,
+                )
                 self.close()
                 raise RuntimeError(
                     f"worker {i % self._width} died mid-task ({exc}); "
@@ -266,6 +283,12 @@ class WorkerPool:
                 failure = payload
             results[i] = payload if status == "ok" else None
         if failure is not None:
+            rec.anomaly(
+                "worker_task_failed",
+                tasks=len(tasks),
+                width=self._width,
+                error=failure.strip().splitlines()[-1],
+            )
             raise RuntimeError(f"worker task failed:\n{failure}")
         return results
 

@@ -28,7 +28,12 @@ Operations (``"op"`` field):
     repo-wide lockstep contract extended to the service (see
     docs/service.md).
 ``stats``
-    Service and per-graph statistics (queue/batch/cache/latency).
+    Service and per-graph statistics (queue/batch/cache/latency), plus
+    a ``server`` provenance block (git SHA, uptime, resolved backend,
+    flight-recorder state).  With ``"format": "openmetrics"`` the
+    response instead carries the OpenMetrics text exposition under
+    ``"openmetrics"`` (see docs/observability.md), which is what
+    ``repro stats --format openmetrics`` polls.
 ``graphs``
     Names of resident graphs.
 ``drop``
@@ -71,7 +76,7 @@ _FIELDS: dict[str, tuple[set[str], set[str]]] = {
     "load": ({"graph"}, {"n", "edges", "family", "seed"}),
     "update": ({"graph"}, {"insert", "delete"}),
     "dfs": ({"graph", "root"}, {"seed"}),
-    "stats": (set(), {"graph"}),
+    "stats": (set(), {"graph", "format"}),
     "graphs": (set(), set()),
     "drop": ({"graph"}, set()),
 }
@@ -179,6 +184,13 @@ def validate_request(obj: Any) -> dict:
             raise ProtocolError(
                 "bad_field", f"field {field!r} must be a string", rid
             )
+    if "format" in obj and obj["format"] not in ("json", "openmetrics"):
+        raise ProtocolError(
+            "bad_field",
+            f"field 'format' must be 'json' or 'openmetrics', "
+            f"got {obj['format']!r}",
+            rid,
+        )
     for field in ("n", "root", "seed"):
         if field in obj and not isinstance(obj[field], int):
             raise ProtocolError(

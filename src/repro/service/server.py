@@ -36,17 +36,55 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import os
+import platform
+import subprocess
 import time
+import warnings
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..kernels.dispatch import resolve_backend
 from ..obs import runtime as obs
+from ..obs.context import bound_call, request_scope
+from ..obs.flight import FlightRecorder, install_recorder
+from ..obs.metrics import NullMetrics
+from ..pram.shm import leaked_segments
 from . import protocol
 from .protocol import ProtocolError
 from .store import GraphStore, ServiceError
 
-__all__ = ["DFSService", "ServiceConfig", "ServiceHandle", "ServiceServer"]
+__all__ = [
+    "DFSService",
+    "ServiceConfig",
+    "ServiceHandle",
+    "ServiceServer",
+    "git_sha",
+]
+
+_git_sha: str | None = None
+
+
+def git_sha() -> str:
+    """Short commit id of the running checkout (cached; "unknown" when
+    git is unavailable) — the same provenance stamp the bench ledgers
+    carry, now served live by the ``stats`` op."""
+    global _git_sha
+    if _git_sha is None:
+        try:
+            _git_sha = (
+                subprocess.run(
+                    ["git", "rev-parse", "--short=12", "HEAD"],
+                    capture_output=True,
+                    text=True,
+                    cwd=os.path.dirname(os.path.abspath(__file__)),
+                    timeout=10,
+                ).stdout.strip()
+                or "unknown"
+            )
+        except (OSError, subprocess.SubprocessError):
+            _git_sha = "unknown"
+    return _git_sha
 
 
 @dataclass
@@ -74,6 +112,25 @@ class ServiceConfig:
     #: when > 0, every Nth served dfs response is cross-checked against
     #: a fresh recompute (the lockstep contract, self-audited in prod)
     verify_every: int = 0
+    #: request-latency SLO in milliseconds; a response slower than this
+    #: fires the ``slow_request`` anomaly (reported against the live
+    #: Reservoir p99). 0 disables the check.
+    slo_ms: float = 0.0
+    #: always-on flight recorder (bounded ring of spans/events, dumped
+    #: on anomaly); see docs/observability.md
+    flight_recorder: bool = True
+    #: span/event ring capacity per process
+    flight_capacity: int = 4096
+    #: where anomaly dumps go (None = record rings, write no files).
+    #: Defaults from ``REPRO_FLIGHT_DIR`` so CI can collect dumps from
+    #: every service a test battery spins up without threading the
+    #: setting through each test.
+    flight_dir: str | None = field(
+        default_factory=lambda: os.environ.get("REPRO_FLIGHT_DIR")
+    )
+    #: hard cap on dump files per process (a flapping anomaly must not
+    #: fill a disk)
+    flight_max_dumps: int = 16
 
 
 @dataclass
@@ -81,6 +138,10 @@ class _Pending:
     request: dict
     future: asyncio.Future
     t0: float
+    #: correlation id: the client-assigned request id when one was
+    #: given, else a server-synthesized one — stamped on every span and
+    #: flight-recorder event the request touches
+    rid: str = ""
 
 
 class DFSService:
@@ -116,9 +177,39 @@ class DFSService:
         self._executor: ThreadPoolExecutor | None = None
         self._batcher: asyncio.Task | None = None
         self._stopping = False
-        # obs instruments, bound once at construction (no-op singletons
-        # unless the service was built inside an activate() scope)
+        self._t_start: float | None = None
+        self._obs_prev: obs.Observation | None = None
+        self._rec_prev = None
+        # the always-on telemetry plane: a bounded flight recorder.
+        # Inside an activate() scope it joins the caller's tracer and
+        # registry (tests/benches collect everything in one place);
+        # otherwise it owns a ring tracer + registry which start()
+        # installs process-wide for the service's lifetime.
+        self.recorder: FlightRecorder | None = None
+        self._owns_obs = False
+        if self.config.flight_recorder:
+            if obs.enabled():
+                self.recorder = FlightRecorder(
+                    self.config.flight_capacity,
+                    tracer=obs.tracer(),
+                    metrics=obs.metrics(),
+                    dump_dir=self.config.flight_dir,
+                    max_dumps=self.config.flight_max_dumps,
+                )
+            else:
+                self.recorder = FlightRecorder(
+                    self.config.flight_capacity,
+                    backend=resolve_backend(self.config.kernel_backend),
+                    dump_dir=self.config.flight_dir,
+                    max_dumps=self.config.flight_max_dumps,
+                )
+                self._owns_obs = True
+        # obs instruments, bound once at construction: the caller's
+        # active registry when one exists, else the recorder's (so the
+        # exposition endpoint sees them), else the no-op singletons
         m = obs.metrics()
+        if isinstance(m, NullMetrics) and self.recorder is not None:
+            m = self.recorder.metrics
         self._h_queue_depth = m.histogram("service.queue_depth")
         self._h_batch = m.histogram("service.batch_size")
         self._c_hits = m.counter("service.cache_hits")
@@ -151,6 +242,13 @@ class DFSService:
         )
         self._queue = asyncio.Queue()
         self._stopping = False
+        self._t_start = time.monotonic()
+        if self.recorder is not None:
+            if self._owns_obs:
+                self._obs_prev = obs.install(
+                    self.recorder.tracer, self.recorder.metrics
+                )
+            self._rec_prev = install_recorder(self.recorder)
         self._batcher = asyncio.create_task(
             self._batch_loop(), name="repro-service-batcher"
         )
@@ -170,6 +268,29 @@ class DFSService:
         self._batcher = None
         self._queue = None
         self._executor = None
+        if self.recorder is not None:
+            install_recorder(self._rec_prev)
+            self._rec_prev = None
+            if self._obs_prev is not None:
+                obs.install(self._obs_prev.tracer, self._obs_prev.metrics)
+                self._obs_prev = None
+        # a worker crash can orphan shared-memory segments; the CPython
+        # resource tracker would sweep them *silently* at interpreter
+        # exit — surface the leak at shutdown instead so it is
+        # attributable to this server's lifetime
+        leaked = leaked_segments()
+        if leaked:
+            if self.recorder is not None:
+                self.recorder.anomaly(
+                    "shm_leak", segments=len(leaked), names=leaked[:8]
+                )
+            warnings.warn(
+                f"service shutdown with {len(leaked)} leaked shared-memory "
+                f"segment(s): {', '.join(leaked[:8])}"
+                + (" ..." if len(leaked) > 8 else ""),
+                ResourceWarning,
+                stacklevel=2,
+            )
 
     # ------------------------------------------------------------------
     # request entry
@@ -181,6 +302,7 @@ class DFSService:
         try:
             request = protocol.validate_request(request)
         except ProtocolError as exc:
+            self.note_protocol_error(exc.code)
             return self._count_error(
                 protocol.error_payload(exc.code, exc.message, exc.req_id)
             )
@@ -193,12 +315,22 @@ class DFSService:
             )
         assert self._queue is not None
         loop = asyncio.get_running_loop()
-        pending = _Pending(request, loop.create_future(), time.perf_counter())
+        rid = request.get("id")
+        rid = str(rid) if rid is not None else f"r{self.counters['requests']}"
+        pending = _Pending(
+            request, loop.create_future(), time.perf_counter(), rid
+        )
         self._queue.put_nowait(pending)
         depth = self._queue.qsize()
         if depth > self.counters["max_queue_depth"]:
             self.counters["max_queue_depth"] = depth
         return await pending.future
+
+    def note_protocol_error(self, code: str) -> None:
+        """Record a malformed request (an anomaly: it means a client is
+        broken or hostile, and the frames around it matter)."""
+        if self.recorder is not None:
+            self.recorder.anomaly("protocol_error", code=code)
 
     def _count_error(self, resp: dict) -> dict:
         self.counters["errors"] += 1
@@ -222,10 +354,19 @@ class DFSService:
             self.counters["max_batch"] = max(
                 self.counters["max_batch"], len(batch)
             )
-            self._h_queue_depth.observe(len(batch) + self._queue.qsize())
-            self._h_batch.observe(len(batch))
+            # per-*batch* granularity: this is the service's pump loop,
+            # one observation per drained batch, never per element
+            self._h_queue_depth.observe(  # repro-lint: disable=R006
+                len(batch) + self._queue.qsize()
+            )
+            self._h_batch.observe(len(batch))  # repro-lint: disable=R006
             try:
-                await self._process_batch(batch)
+                with obs.span(  # repro-lint: disable=R006 — per-batch
+                    "service.batch",
+                    size=len(batch),
+                    requests=[p.rid for p in batch],
+                ):
+                    await self._process_batch(batch)
             finally:
                 for _ in batch:
                     self._queue.task_done()
@@ -249,12 +390,29 @@ class DFSService:
         if rid is not None and "id" not in resp:
             resp["id"] = rid
         self.counters["responses"] += 1
-        if not resp.get("ok", False):
+        ok = resp.get("ok", False)
+        if not ok:
             self.counters["errors"] += 1
             self._c_errors.value += 1
-        self._r_latency.observe(
-            (time.perf_counter() - pending.t0) * 1000.0
-        )
+        latency_ms = (time.perf_counter() - pending.t0) * 1000.0
+        self._r_latency.observe(latency_ms)
+        if self.recorder is not None:
+            with request_scope(pending.rid):
+                self.recorder.event(
+                    "service.request",
+                    op=pending.request.get("op"),
+                    ok=ok,
+                    latency_ms=round(latency_ms, 3),
+                )
+                if 0.0 < self.config.slo_ms < latency_ms:
+                    self.recorder.anomaly(
+                        "slow_request",
+                        request_id=pending.rid,
+                        op=pending.request.get("op"),
+                        latency_ms=round(latency_ms, 3),
+                        slo_ms=self.config.slo_ms,
+                        p99_ms=self._r_latency.quantile(0.99),
+                    )
         if not pending.future.done():
             pending.future.set_result(resp)
 
@@ -288,10 +446,13 @@ class DFSService:
                     "graph": req["graph"],
                     "stats": self.store.get(req["graph"]).stats(),
                 }
+            if req.get("format") == "openmetrics":
+                return {"ok": True, "openmetrics": self._openmetrics()}
             return {
                 "ok": True,
                 "graphs": self.store.stats(),
                 "service": dict(self.counters),
+                "server": self._server_info(),
             }
         if op == "load":
             rg = self.store.load(
@@ -332,6 +493,44 @@ class DFSService:
         raise ServiceError("unknown_op", f"unhandled op {op!r}")
 
     # ------------------------------------------------------------------
+    # telemetry exposition
+    # ------------------------------------------------------------------
+    def _server_info(self) -> dict:
+        """The ``server`` provenance block of the stats op."""
+        uptime = (
+            time.monotonic() - self._t_start
+            if self._t_start is not None
+            else 0.0
+        )
+        info: dict = {
+            "git_sha": git_sha(),
+            "uptime_s": round(uptime, 3),
+            "kernel_backend": resolve_backend(self.config.kernel_backend),
+            "structure": self.config.structure,
+            "pid": os.getpid(),
+            "python": platform.python_version(),
+            "shm_leaked": len(leaked_segments()),
+        }
+        if self.recorder is not None:
+            info["flight"] = self.recorder.stats()
+        return info
+
+    def _bound_metrics(self):
+        """The registry the service instruments actually report to."""
+        m = obs.metrics()
+        if isinstance(m, NullMetrics) and self.recorder is not None:
+            m = self.recorder.metrics
+        return m
+
+    def _openmetrics(self) -> str:
+        """The OpenMetrics text exposition of the whole telemetry plane:
+        obs registry + deterministic service ledger + per-graph gauges +
+        build/flight provenance (:mod:`repro.service.exposition`)."""
+        from .exposition import render_service_openmetrics
+
+        return render_service_openmetrics(self)
+
+    # ------------------------------------------------------------------
     # dfs groups (coalesced, executor-offloaded)
     # ------------------------------------------------------------------
     async def _run_dfs_group(self, group: list[_Pending]) -> None:
@@ -366,14 +565,21 @@ class DFSService:
 
         keys = list(jobs)
         if keys:
+            # run_in_executor does NOT propagate contextvars; bound_call
+            # re-binds the request id (the first waiter's, for coalesced
+            # keys) onto the executor thread so the compute span and the
+            # parallel_dfs phase spans underneath carry the correlation
             futures = [
                 loop.run_in_executor(
                     self._executor,
-                    self.store.get(name).compute,
-                    root,
-                    seed,
+                    # one O(1) closure per *compute job*, each a full DFS
+                    bound_call(  # repro-lint: disable=R006
+                        jobs[key][0].rid,
+                        self._compute_traced,
+                        *key,
+                    ),
                 )
-                for name, root, seed in keys
+                for key in keys
             ]
             results = await asyncio.gather(*futures, return_exceptions=True)
             for key, result in zip(keys, results):
@@ -395,6 +601,17 @@ class DFSService:
             resp = await self._maybe_verify(pending, tree, was_cached)
             self._respond(pending, resp)
 
+    def _compute_traced(
+        self, name: str, root: int, seed: int, verify: bool = False
+    ) -> dict:
+        """Executor-thread body of one compute: a correlated span around
+        the pure :meth:`~repro.service.store.ResidentGraph.compute`."""
+        attrs: dict = {"graph": name, "root": root, "seed": seed}
+        if verify:
+            attrs["verify"] = True
+        with obs.span("service.compute", **attrs):
+            return self.store.get(name).compute(root, seed)
+
     async def _maybe_verify(
         self, pending: _Pending, tree: dict, was_cached: bool
     ) -> dict:
@@ -410,11 +627,28 @@ class DFSService:
                 loop = asyncio.get_running_loop()
                 assert self._executor is not None
                 fresh = await loop.run_in_executor(
-                    self._executor, rg.compute, req["root"],
-                    req.get("seed", 0),
+                    self._executor,
+                    bound_call(
+                        pending.rid,
+                        self._compute_traced,
+                        name,
+                        req["root"],
+                        req.get("seed", 0),
+                        True,
+                    ),
                 )
                 if protocol.tree_bytes(fresh) != protocol.tree_bytes(tree):
                     self.counters["lockstep_violations"] += 1
+                    if self.recorder is not None:
+                        self.recorder.anomaly(
+                            "lockstep_violation",
+                            request_id=pending.rid,
+                            graph=name,
+                            root=req["root"],
+                            seed=req.get("seed", 0),
+                            cached=was_cached,
+                            mutations=rg.dyn.mutations,
+                        )
                     return protocol.error_payload(
                         "lockstep_violation",
                         "served tree diverged from fresh recompute",
@@ -536,6 +770,7 @@ class ServiceServer:
                     request = protocol.decode_request(line)
                 except ProtocolError as exc:
                     self.service.counters["errors"] += 1
+                    self.service.note_protocol_error(exc.code)
                     writer.write(
                         protocol.encode(
                             protocol.error_payload(

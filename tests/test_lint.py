@@ -438,11 +438,48 @@ def test_r006_accepts_constant_sized_loop():
     assert rule_ids(res) == []
 
 
-def test_r006_scope_is_kernels_only():
+def test_r006_scope_excludes_structures():
     # the same spelling is the sanctioned idiom in structures/ (bound
-    # instruments), so the rule must not fire outside kernels/
+    # instruments), so the rule must not fire there
     res = run_rule("structures/example.py", R006_BAD, only=["R006"])
     assert rule_ids(res) == []
+
+
+def test_r006_covers_service_package():
+    # the service loop is hot-path scope: an instrument bump per
+    # drained *request* (unbounded) is exactly the regression the
+    # zero-overhead contract forbids
+    src = """
+        def pump(h_latency, batch):
+            for pending in batch:
+                h_latency.observe(pending.age)
+    """
+    res = run_rule("service/example.py", src, only=["R006"])
+    assert rule_ids(res) == ["R006"]
+
+
+def test_r006_covers_pram_executor_file_only():
+    # pram/executor.py (the pool dispatch path) is in scope; the rest
+    # of pram/ (tracker-side bookkeeping) is not
+    src = """
+        def drain(rec, conns):
+            for conn in conns:
+                rec.event("pool.reply")
+    """
+    res = run_rule("pram/executor.py", src, only=["R006"])
+    assert rule_ids(res) == ["R006"]
+    res = run_rule("pram/tracker.py", src, only=["R006"])
+    assert rule_ids(res) == []
+
+
+def test_r006_flags_flight_recorder_verbs():
+    src = """
+        def watch(rec, replies):
+            for r in replies:
+                rec.anomaly("worker_fault", worker=r)
+    """
+    res = run_rule("service/example.py", src, only=["R006"])
+    assert rule_ids(res) == ["R006"]
 
 
 def test_r006_suppression():

@@ -431,6 +431,48 @@ class TestReservoir:
         assert r1._sample == r2._sample and r1._stride == r2._stride
         assert r1.summary()["p99"] == r2.summary()["p99"]
 
+    def test_decimation_exactly_at_capacity_boundary(self):
+        limit = 8
+        r = Reservoir("lat", limit=limit)
+        for v in range(limit - 1):
+            r.observe(float(v))
+        # one short of capacity: nothing decimated yet
+        assert len(r._sample) == limit - 1 and r._stride == 1
+        r.observe(float(limit - 1))
+        # the observation that fills the sample decimates immediately:
+        # every other retained value kept, stride doubled — the sample
+        # never actually sits at the limit
+        assert r._stride == 2
+        assert r._sample == [0.0, 2.0, 4.0, 6.0]
+        assert r.count == limit and r.total == sum(range(limit))
+
+    def test_sample_stays_strictly_below_limit_at_every_step(self):
+        limit = 4
+        r = Reservoir("lat", limit=limit)
+        for v in range(200):
+            r.observe(float(v))
+            assert len(r._sample) < limit
+        # exact aggregates are unaffected by decimation
+        assert r.count == 200 and r.total == sum(range(200))
+        assert r.vmin == 0.0 and r.vmax == 199.0
+
+    def test_repeated_boundary_crossings_double_stride(self):
+        limit = 4
+        r = Reservoir("lat", limit=limit)
+        strides = set()
+        for v in range(64):
+            r.observe(float(v))
+            strides.add(r._stride)
+        # each crossing doubles the stride: 1 -> 2 -> 4 -> ...
+        assert strides == {1, 2, 4, 8, 16, 32}
+        # the retained sample is a subsequence of the observed stream
+        # with the current stride's spacing between consecutive keeps
+        diffs = {
+            b - a for a, b in zip(r._sample, r._sample[1:])
+        }
+        assert all(d >= 1 for d in diffs)
+        assert r._sample == sorted(r._sample)
+
     def test_summary_shape_and_empty(self):
         r = Reservoir("lat")
         assert r.summary() == {

@@ -18,15 +18,25 @@ consistent, large gap that no retry masks.
 import random
 import time
 
+import pytest
+
 from repro.analysis.trace import trace_dfs
 from repro.core.dfs import parallel_dfs
 from repro.graph import generators as G
+from repro.kernels import tiling
+from repro.obs import FlightRecorder, activate, install_recorder
+from repro.pram.executor import get_pool, shutdown_pool
+from repro.pram.shm import leaked_segments
 from repro.pram.tracker import Tracker
 
 N, M, GRAPH_SEED, DFS_SEED = 2000, 4000, 23, 123
 BUDGET = 0.03
-RUNS_PER_SIDE = 3
-ATTEMPTS = 3
+# best-of-N converges slowly on noisy shared runners: a single descheduled
+# tick on the instrumented side reads as a fake 5-15% "overhead" at 3
+# runs/side, so take more samples per attempt (a genuine regression — a
+# span in a per-element loop — is a consistent gap no sample count masks)
+RUNS_PER_SIDE = 5
+ATTEMPTS = 4
 
 
 def _run_disabled(g) -> float:
@@ -44,20 +54,108 @@ def _run_traced(g) -> float:
     return time.perf_counter() - t0
 
 
-def test_tracing_overhead_under_budget():
-    g = G.gnm_random_connected_graph(N, M, seed=GRAPH_SEED)
-    _run_disabled(g)  # warm caches (imports, numpy buffers) off the clock
+def _guard(run_plain, run_instrumented, label):
+    """Interleaved best-of-N comparison with retries (shared helper)."""
     overheads = []
     for _ in range(ATTEMPTS):
-        disabled, traced = [], []
+        plain, instrumented = [], []
         for _ in range(RUNS_PER_SIDE):  # interleave to share drift
-            disabled.append(_run_disabled(g))
-            traced.append(_run_traced(g))
-        overhead = min(traced) / min(disabled) - 1.0
+            plain.append(run_plain())
+            instrumented.append(run_instrumented())
+        overhead = min(instrumented) / min(plain) - 1.0
         overheads.append(overhead)
         if overhead < BUDGET:
             return
     raise AssertionError(
-        f"tracing overhead exceeded {BUDGET:.0%} budget in every attempt: "
+        f"{label} overhead exceeded {BUDGET:.0%} budget in every attempt: "
         f"{[f'{o:.2%}' for o in overheads]}"
+    )
+
+
+def test_tracing_overhead_under_budget():
+    g = G.gnm_random_connected_graph(N, M, seed=GRAPH_SEED)
+    _run_disabled(g)  # warm caches (imports, numpy buffers) off the clock
+    _guard(lambda: _run_disabled(g), lambda: _run_traced(g), "tracing")
+
+
+# ----------------------------------------------------------------------
+# the flight recorder: always-on must still mean (nearly) free
+# ----------------------------------------------------------------------
+
+
+def _recorded(fn):
+    """Run ``fn`` with a live flight recorder installed process-wide
+    (its tracer + registry active), the service's always-on posture."""
+    rec = FlightRecorder(capacity=4096)
+    prev = install_recorder(rec)
+    try:
+        with activate(rec.tracer, rec.metrics):
+            return fn()
+    finally:
+        install_recorder(prev)
+
+
+def test_recorder_overhead_under_budget():
+    g = G.gnm_random_connected_graph(N, M, seed=GRAPH_SEED)
+    _run_disabled(g)
+    _guard(
+        lambda: _run_disabled(g),
+        lambda: _recorded(lambda: _run_disabled(g)),
+        "flight recorder",
+    )
+
+
+def test_recorder_preserves_lockstep_tree():
+    # byte-identity is the stronger half of the zero-overhead contract:
+    # the recorder may time the run, never steer it
+    g = G.gnm_random_connected_graph(N, M, seed=GRAPH_SEED)
+    baseline = parallel_dfs(
+        g, 0, rng=random.Random(DFS_SEED), kernel_backend="numpy"
+    )
+    recorded = _recorded(
+        lambda: parallel_dfs(
+            g, 0, rng=random.Random(DFS_SEED), kernel_backend="numpy"
+        )
+    )
+    assert recorded.parent == baseline.parent
+    assert recorded.depth == baseline.depth
+
+
+# ----------------------------------------------------------------------
+# the parallel (multiprocess) backend: dispatch events per pool call
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def forced_pool():
+    """Threshold 0 + a 2-worker pool: every kernel call dispatches, so
+    the pool-dispatch instrumentation runs as often as it ever can."""
+    tiling.set_parallel_threshold(0)
+    try:
+        yield get_pool(2)
+    finally:
+        tiling.set_parallel_threshold(None)
+        shutdown_pool()
+    assert not leaked_segments(), "shared-memory segments leaked"
+
+
+def test_parallel_backend_recorder_overhead_and_identity(forced_pool):
+    g = G.gnm_random_connected_graph(400, 800, seed=GRAPH_SEED)
+
+    def run():
+        t0 = time.perf_counter()
+        res = parallel_dfs(
+            g, 0, rng=random.Random(DFS_SEED), kernel_backend="parallel"
+        )
+        return time.perf_counter() - t0, res
+
+    run()  # warm the pool off the clock
+    baseline = run()[1]
+    recorded = _recorded(run)[1]
+    assert recorded.parent == baseline.parent
+    assert recorded.depth == baseline.depth
+    _guard(
+        lambda: run()[0],
+        lambda: _recorded(run)[0],
+        "parallel-backend recorder",
     )
